@@ -1,0 +1,43 @@
+"""Figure 3 — latency distribution at JP, five replicas, leader CA, balanced.
+
+Expected shape: Paxos and Paxos-bcast have near-vertical CDFs (predictable
+latency), Mencius-bcast spreads over roughly a one-way delay because of the
+delayed-commit problem, and Clock-RSM shows moderate variance at JP (prefix
+replication sometimes dominates with this layout).
+"""
+
+from __future__ import annotations
+
+from repro.bench.latency_experiments import figure1_config, latency_cdf_experiment
+from repro.bench.reporting import format_cdf
+
+from conftest import quick_overrides
+
+
+def _spread(points, low=0.05, high=0.95):
+    values = [v for v, _ in points]
+    fractions = [f for _, f in points]
+    def at(fraction):
+        for value, cumulative in points:
+            if cumulative >= fraction:
+                return value
+        return values[-1]
+    return at(high) - at(low)
+
+
+def test_bench_fig3_latency_cdf_at_jp(benchmark, report_sink):
+    config = figure1_config("CA", **quick_overrides())
+    cdfs = benchmark.pedantic(
+        latency_cdf_experiment, args=(config, "JP"), rounds=1, iterations=1
+    )
+    report_sink("fig3_cdf_jp", format_cdf(cdfs, "Figure 3: latency CDF at JP (leader CA)"))
+
+    for protocol, points in cdfs.items():
+        assert points, f"no samples collected for {protocol}"
+        assert points[-1][1] == 1.0
+
+    # Paxos variants are tightly concentrated; Mencius-bcast is the widest.
+    assert _spread(cdfs["paxos"]) < 20.0
+    assert _spread(cdfs["paxos-bcast"]) < 20.0
+    assert _spread(cdfs["mencius-bcast"]) > _spread(cdfs["paxos-bcast"])
+    assert _spread(cdfs["mencius-bcast"]) > _spread(cdfs["clock-rsm"])

@@ -1,0 +1,40 @@
+"""Figure 4 — latency distribution at CA, three replicas, leader VA, balanced.
+
+Expected shape: as in Figure 3, but with this layout Clock-RSM's latency at
+CA barely varies (stable order dominates prefix replication), so its CDF is
+almost as sharp as the Paxos variants'.
+"""
+
+from __future__ import annotations
+
+from repro.bench.latency_experiments import figure2_config, latency_cdf_experiment
+from repro.bench.reporting import format_cdf
+
+from conftest import quick_overrides
+
+
+def _spread(points, low=0.05, high=0.95):
+    def at(fraction):
+        for value, cumulative in points:
+            if cumulative >= fraction:
+                return value
+        return points[-1][0]
+    return at(high) - at(low)
+
+
+def test_bench_fig4_latency_cdf_at_ca(benchmark, report_sink):
+    config = figure2_config("VA", **quick_overrides())
+    cdfs = benchmark.pedantic(
+        latency_cdf_experiment, args=(config, "CA"), rounds=1, iterations=1
+    )
+    report_sink("fig4_cdf_ca", format_cdf(cdfs, "Figure 4: latency CDF at CA (3 replicas, leader VA)"))
+
+    for protocol, points in cdfs.items():
+        assert points, f"no samples collected for {protocol}"
+
+    # Clock-RSM at CA is nearly deterministic with this placement.
+    assert _spread(cdfs["clock-rsm"]) < 25.0
+    # Mencius-bcast still shows the delayed-commit spread.
+    assert _spread(cdfs["mencius-bcast"]) > _spread(cdfs["clock-rsm"])
+    # Paxos-bcast is both sharp and centred at the lowest latency at CA.
+    assert _spread(cdfs["paxos-bcast"]) < 20.0

@@ -1,0 +1,47 @@
+"""Figure 5 — commit latency at five replicas, imbalanced workload.
+
+One run per origin site (only that site's clients issue requests), leader of
+Paxos/Paxos-bcast at CA.  Expected shape: Paxos variants are unchanged vs the
+balanced workload; Clock-RSM stays close to its balanced latency thanks to
+PREPAREOK/CLOCKTIME messages carrying clock promises; Mencius-bcast becomes
+markedly worse because committing requires acknowledgements (with skips) from
+every replica — a full round trip to the farthest one.
+"""
+
+from __future__ import annotations
+
+from repro.bench.latency_experiments import FIVE_SITES, run_imbalanced_comparison
+from repro.bench.reporting import format_latency_table
+from repro.types import seconds_to_micros
+
+
+def test_bench_fig5_imbalanced_five_replicas(benchmark, report_sink):
+    overrides = dict(
+        duration=seconds_to_micros(5.0),
+        warmup=seconds_to_micros(1.0),
+        clients_per_replica=10,
+    )
+    results = benchmark.pedantic(
+        run_imbalanced_comparison,
+        kwargs=dict(sites=FIVE_SITES, leader_site="CA", **overrides),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "fig5_imbalanced_5",
+        format_latency_table(results, FIVE_SITES, "Figure 5 (imbalanced, leader CA)"),
+    )
+
+    clock = results["clock-rsm"]
+    mencius = results["mencius-bcast"]
+    paxos_bcast = results["paxos-bcast"]
+
+    for site in FIVE_SITES:
+        # Mencius-bcast needs a round trip to the farthest replica; Clock-RSM
+        # only needs max(majority round trip, farthest one-way), so it is
+        # strictly better at every origin in this placement.
+        assert clock.mean_ms(site) < mencius.mean_ms(site)
+    # Clock-RSM beats Paxos-bcast at non-leader origins in most cases.
+    non_leader = [s for s in FIVE_SITES if s != "CA"]
+    wins = sum(1 for s in non_leader if clock.mean_ms(s) < paxos_bcast.mean_ms(s))
+    assert wins >= 3

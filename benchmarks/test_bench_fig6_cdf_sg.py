@@ -1,0 +1,44 @@
+"""Figure 6 — latency distribution at SG, five replicas, imbalanced workload.
+
+Only SG's clients issue requests; the Paxos/Paxos-bcast leader is at CA.
+Expected shape: every protocol's CDF is fairly sharp (no concurrent commands
+means no delayed-commit variance for Mencius-bcast), but Mencius-bcast is
+centred at a much higher latency (round trip to the farthest replica), while
+Clock-RSM sits at the majority round trip.
+"""
+
+from __future__ import annotations
+
+from repro.bench.latency_experiments import figure6_config, latency_cdf_experiment
+from repro.bench.reporting import format_cdf
+from repro.types import seconds_to_micros
+
+
+def _median(points):
+    for value, cumulative in points:
+        if cumulative >= 0.5:
+            return value
+    return points[-1][0]
+
+
+def test_bench_fig6_latency_cdf_at_sg(benchmark, report_sink):
+    config = figure6_config(
+        duration=seconds_to_micros(6.0),
+        warmup=seconds_to_micros(1.0),
+        clients_per_replica=10,
+    )
+    cdfs = benchmark.pedantic(
+        latency_cdf_experiment, args=(config, "SG"), rounds=1, iterations=1
+    )
+    report_sink("fig6_cdf_sg", format_cdf(cdfs, "Figure 6: latency CDF at SG (imbalanced)"))
+
+    for protocol, points in cdfs.items():
+        assert points, f"no samples collected for {protocol}"
+
+    # Ordering of the distributions' centres at SG (paper Figure 6):
+    # Clock-RSM is lowest; Paxos-bcast beats plain Paxos; Mencius-bcast is
+    # pushed up by the skip round trip to the farthest replica.
+    assert _median(cdfs["clock-rsm"]) < _median(cdfs["paxos-bcast"])
+    assert _median(cdfs["paxos-bcast"]) < _median(cdfs["paxos"])
+    assert _median(cdfs["clock-rsm"]) < _median(cdfs["mencius-bcast"])
+    assert _median(cdfs["paxos-bcast"]) < _median(cdfs["mencius-bcast"])

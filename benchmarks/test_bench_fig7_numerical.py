@@ -1,0 +1,36 @@
+"""Figure 7 — numerical comparison over all EC2 replica placements.
+
+Plugs the measured Table III delays into the Table II formulas for every
+combination of three, five and seven data centers; Paxos-bcast always gets
+its best leader.  Expected shape: Clock-RSM has the lower average latency for
+five and seven replicas (with a larger gap on the per-group worst replica)
+and is slightly worse for three replicas.
+"""
+
+from __future__ import annotations
+
+from repro.bench.numerical import figure7_data
+from repro.bench.reporting import format_table
+
+
+def test_bench_fig7_numerical_comparison(benchmark, report_sink):
+    rows = benchmark.pedantic(figure7_data, rounds=1, iterations=1)
+    report_sink("fig7_numerical", format_table(rows, "Figure 7: average latency by group size"))
+
+    by_size = {row["group_size"]: row for row in rows}
+    assert set(by_size) == {3, 5, 7}
+    assert by_size[3]["groups"] == 35
+    assert by_size[5]["groups"] == 21
+    assert by_size[7]["groups"] == 1
+
+    # Three replicas: Paxos-bcast (best leader) is the optimal special case.
+    assert by_size[3]["clock_rsm_all_ms"] >= by_size[3]["paxos_bcast_all_ms"]
+    # Five and seven replicas: Clock-RSM wins on both averages, with a larger
+    # margin on the per-group highest latency.
+    for size in (5, 7):
+        row = by_size[size]
+        assert row["clock_rsm_all_ms"] < row["paxos_bcast_all_ms"]
+        assert row["clock_rsm_highest_ms"] < row["paxos_bcast_highest_ms"]
+        all_gap = row["paxos_bcast_all_ms"] - row["clock_rsm_all_ms"]
+        highest_gap = row["paxos_bcast_highest_ms"] - row["clock_rsm_highest_ms"]
+        assert highest_gap > all_gap

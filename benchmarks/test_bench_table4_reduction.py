@@ -1,0 +1,37 @@
+"""Table IV — latency reduction of Clock-RSM over Paxos-bcast.
+
+For every replica of every 3/5/7-site placement, compares the analytical
+Clock-RSM latency with best-leader Paxos-bcast and buckets the replicas into
+"Clock-RSM lower" / "Clock-RSM higher".  Expected shape (paper Table IV):
+0% / 100% for three replicas (ties and small losses, ≈ -10 ms), roughly
+two-thirds winners at ≈ +30 ms for five replicas, and ≈ 86% winners at
+≈ +50 ms for seven replicas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.numerical import table4_rows
+from repro.bench.reporting import format_table
+
+
+def test_bench_table4_latency_reduction(benchmark, report_sink):
+    rows = benchmark.pedantic(table4_rows, rounds=1, iterations=1)
+    report_sink("table4_reduction", format_table(rows, "Table IV: latency reduction"))
+
+    indexed = {(row["group_size"], row["bucket"]): row for row in rows}
+
+    three_lower = indexed[(3, "clock-rsm lower")]
+    three_higher = indexed[(3, "clock-rsm higher")]
+    assert three_lower["replica_percentage"] == 0.0
+    assert three_higher["replica_percentage"] == 100.0
+    assert three_higher["absolute_reduction_ms"] == pytest.approx(-9.9, abs=3.0)
+
+    five_lower = indexed[(5, "clock-rsm lower")]
+    assert five_lower["replica_percentage"] == pytest.approx(68.6, abs=6.0)
+    assert five_lower["absolute_reduction_ms"] == pytest.approx(31.9, abs=8.0)
+
+    seven_lower = indexed[(7, "clock-rsm lower")]
+    assert seven_lower["replica_percentage"] == pytest.approx(85.7, abs=0.5)
+    assert seven_lower["absolute_reduction_ms"] == pytest.approx(50.2, abs=10.0)

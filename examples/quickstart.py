@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: a geo-replicated key-value store on Clock-RSM in ~30 lines.
+
+Builds a three-replica deployment (California, Virginia, Ireland) inside the
+deterministic simulator, using the paper's measured EC2 delays, and issues a
+few linearizable operations from different sites.  Virtual time advances only
+while the protocol works, so the printed latencies are the protocol's actual
+wide-area commit latencies.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ClusterSpec, ProtocolConfig, SimulatedCluster
+from repro.analysis import ec2_latency_matrix
+from repro.kvstore import KVStateMachine, SimKVClient
+from repro.types import micros_to_ms
+
+
+def main() -> None:
+    spec = ClusterSpec.from_sites(["CA", "VA", "IR"])
+    cluster = SimulatedCluster(
+        spec,
+        ec2_latency_matrix(spec.sites),
+        protocol="clock-rsm",
+        protocol_config=ProtocolConfig(),
+        state_machine_factory=lambda _rid: KVStateMachine(),
+    )
+
+    client_ca = SimKVClient(cluster, replica_id=spec.by_site("CA").replica_id)
+    client_ir = SimKVClient(cluster, replica_id=spec.by_site("IR").replica_id)
+
+    def timed(label, fn, *args):
+        start = cluster.now
+        result = fn(*args)
+        print(f"{label:<38} -> {result!r:<18} ({micros_to_ms(cluster.now - start):6.1f} ms)")
+        return result
+
+    print("Clock-RSM replicated key-value store across CA / VA / IR\n")
+    timed('CA: put("greeting", "hello geo-world")', client_ca.put, "greeting", b"hello geo-world")
+    timed('IR: get("greeting")', client_ir.get, "greeting")
+    timed('IR: put("greeting", "hello from IR")', client_ir.put, "greeting", b"hello from IR")
+    timed('CA: get("greeting")', client_ca.get, "greeting")
+    timed('CA: delete("greeting")', client_ca.delete, "greeting")
+
+    cluster.run_for(1_000_000)  # let followers apply the tail
+    cluster.assert_consistent_order()
+    print("\nAll three replicas executed the same command sequence — state is consistent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools lacks the PEP 660 editable-wheel path
+(it falls back to the classic ``setup.py develop`` route).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,222 @@
+"""Wide-area latency experiments (Figures 1-6).
+
+Each experiment deploys the replicated key-value store across a set of EC2
+sites inside the simulator (one-way delays from Table III), attaches the
+paper's closed-loop clients, runs for a configurable amount of virtual time,
+and reports per-site average and 95th-percentile commit latency (and full
+CDFs for the distribution figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..analysis.ec2 import ec2_latency_matrix
+from ..config import ClusterSpec, ProtocolConfig
+from ..kvstore.commands import random_update
+from ..kvstore.kv import KVStateMachine
+from ..metrics.stats import LatencySummary
+from ..sim.cluster import SimulatedCluster
+from ..sim.network import NetworkOptions
+from ..types import Micros, ms_to_micros, seconds_to_micros
+from ..workload.generator import WorkloadOptions
+from ..workload.scenarios import balanced_workload, imbalanced_workload
+
+#: The protocols compared in every latency figure of the paper.
+LATENCY_PROTOCOLS: tuple[str, ...] = ("paxos", "mencius-bcast", "paxos-bcast", "clock-rsm")
+
+#: Replica placements used by the paper's EC2 experiments.
+FIVE_SITES: tuple[str, ...] = ("CA", "VA", "IR", "JP", "SG")
+THREE_SITES: tuple[str, ...] = ("CA", "VA", "IR")
+
+
+@dataclass(frozen=True)
+class LatencyExperimentConfig:
+    """Shared knobs of a latency experiment run."""
+
+    sites: tuple[str, ...]
+    leader_site: str
+    balanced: bool = True
+    origin_site: Optional[str] = None
+    duration: Micros = seconds_to_micros(12.0)
+    warmup: Micros = seconds_to_micros(2.0)
+    clients_per_replica: int = 20
+    payload_size: int = 64
+    clocktime_interval: Micros = ms_to_micros(5.0)
+    jitter_fraction: float = 0.02
+    seed: int = 42
+
+
+@dataclass
+class LatencyExperimentResult:
+    """Per-site latency summaries for one (protocol, workload) pair."""
+
+    protocol: str
+    config: LatencyExperimentConfig
+    summaries: dict[str, LatencySummary]
+    cdfs: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def mean_ms(self, site: str) -> float:
+        return self.summaries[site].mean_ms
+
+    def p95_ms(self, site: str) -> float:
+        return self.summaries[site].p95_ms
+
+    def average_over_sites(self) -> float:
+        values = [summary.mean_ms for summary in self.summaries.values()]
+        return sum(values) / len(values)
+
+    def highest_over_sites(self) -> float:
+        return max(summary.mean_ms for summary in self.summaries.values())
+
+
+def _build_cluster(
+    protocol: str, experiment: LatencyExperimentConfig
+) -> SimulatedCluster:
+    spec = ClusterSpec.from_sites(list(experiment.sites))
+    matrix = ec2_latency_matrix(experiment.sites)
+    protocol_config = ProtocolConfig(
+        leader=spec.by_site(experiment.leader_site).replica_id,
+        clocktime_interval=experiment.clocktime_interval,
+    )
+    return SimulatedCluster(
+        spec,
+        matrix,
+        protocol,
+        protocol_config,
+        seed=experiment.seed,
+        network_options=NetworkOptions(jitter_fraction=experiment.jitter_fraction),
+        state_machine_factory=lambda _rid: KVStateMachine(),
+    )
+
+
+def latency_experiment(
+    protocol: str, experiment: LatencyExperimentConfig, collect_cdf_sites: Sequence[str] = ()
+) -> LatencyExperimentResult:
+    """Run one latency experiment and summarize per-site commit latency."""
+    cluster = _build_cluster(protocol, experiment)
+    options = WorkloadOptions(
+        clients_per_replica=experiment.clients_per_replica,
+        payload_size=experiment.payload_size,
+        # The paper's clients update randomly selected keys of the replicated
+        # key-value store with values of the configured size.
+        payload_factory=lambda rng: random_update(rng, value_size=experiment.payload_size),
+    )
+    if experiment.balanced:
+        handle = balanced_workload(cluster, options, warmup=experiment.warmup)
+    else:
+        origin_site = experiment.origin_site or experiment.sites[0]
+        origin = cluster.spec.by_site(origin_site).replica_id
+        handle = imbalanced_workload(cluster, origin, options, warmup=experiment.warmup)
+    cluster.run_for(experiment.duration)
+    handle.stop()
+    cluster.assert_consistent_order()
+
+    summaries: dict[str, LatencySummary] = {}
+    cdfs: dict[str, list[tuple[float, float]]] = {}
+    for replica_spec in cluster.spec.replicas:
+        rid = replica_spec.replica_id
+        if handle.collector.count(rid) == 0:
+            continue
+        summaries[replica_spec.site] = handle.collector.summary(rid)
+        if replica_spec.site in collect_cdf_sites:
+            cdfs[replica_spec.site] = handle.collector.cdf_ms(rid)
+    return LatencyExperimentResult(protocol, experiment, summaries, cdfs)
+
+
+def run_latency_comparison(
+    experiment: LatencyExperimentConfig,
+    protocols: Sequence[str] = LATENCY_PROTOCOLS,
+    collect_cdf_sites: Sequence[str] = (),
+) -> dict[str, LatencyExperimentResult]:
+    """Run all protocols under the same experiment configuration."""
+    return {
+        protocol: latency_experiment(protocol, experiment, collect_cdf_sites)
+        for protocol in protocols
+    }
+
+
+def run_imbalanced_comparison(
+    sites: Sequence[str] = FIVE_SITES,
+    leader_site: str = "CA",
+    protocols: Sequence[str] = LATENCY_PROTOCOLS,
+    **overrides,
+) -> dict[str, LatencyExperimentResult]:
+    """Figure 5: one imbalanced run per origin site, merged per protocol.
+
+    The paper runs the imbalanced workload once per origin replica (clients
+    issue requests to only that replica) and plots, for each site, the
+    latency measured in the run where that site was the origin.
+    """
+    merged: dict[str, LatencyExperimentResult] = {}
+    for origin_site in sites:
+        config = LatencyExperimentConfig(
+            sites=tuple(sites),
+            leader_site=leader_site,
+            balanced=False,
+            origin_site=origin_site,
+            **overrides,
+        )
+        for protocol in protocols:
+            result = latency_experiment(protocol, config)
+            if protocol not in merged:
+                merged[protocol] = LatencyExperimentResult(protocol, config, {})
+            if origin_site in result.summaries:
+                merged[protocol].summaries[origin_site] = result.summaries[origin_site]
+    return merged
+
+
+def latency_cdf_experiment(
+    experiment: LatencyExperimentConfig,
+    cdf_site: str,
+    protocols: Sequence[str] = LATENCY_PROTOCOLS,
+) -> dict[str, list[tuple[float, float]]]:
+    """Latency distribution at one site for every protocol (Figures 3/4/6)."""
+    results = run_latency_comparison(experiment, protocols, collect_cdf_sites=[cdf_site])
+    return {protocol: result.cdfs.get(cdf_site, []) for protocol, result in results.items()}
+
+
+# ---------------------------------------------------------------------------
+# Canonical experiment configurations matching the paper's figures
+# ---------------------------------------------------------------------------
+
+
+def figure1_config(leader_site: str, **overrides) -> LatencyExperimentConfig:
+    """Figure 1: five replicas, balanced workload, leader at CA or VA."""
+    return LatencyExperimentConfig(sites=FIVE_SITES, leader_site=leader_site, **overrides)
+
+
+def figure2_config(leader_site: str, **overrides) -> LatencyExperimentConfig:
+    """Figure 2: three replicas, balanced workload, leader at CA or VA."""
+    return LatencyExperimentConfig(sites=THREE_SITES, leader_site=leader_site, **overrides)
+
+
+def figure5_config(**overrides) -> LatencyExperimentConfig:
+    """Figure 5: five replicas, imbalanced workload originating at CA."""
+    return LatencyExperimentConfig(
+        sites=FIVE_SITES, leader_site="CA", balanced=False, origin_site="CA", **overrides
+    )
+
+
+def figure6_config(**overrides) -> LatencyExperimentConfig:
+    """Figure 6: five replicas, imbalanced workload originating at SG."""
+    return LatencyExperimentConfig(
+        sites=FIVE_SITES, leader_site="CA", balanced=False, origin_site="SG", **overrides
+    )
+
+
+__all__ = [
+    "LATENCY_PROTOCOLS",
+    "FIVE_SITES",
+    "THREE_SITES",
+    "LatencyExperimentConfig",
+    "LatencyExperimentResult",
+    "latency_experiment",
+    "run_latency_comparison",
+    "latency_cdf_experiment",
+    "figure1_config",
+    "figure2_config",
+    "figure5_config",
+    "figure6_config",
+]

@@ -1,0 +1,126 @@
+"""Throughput experiment (Figure 8).
+
+The paper saturates five replicas on a local Gigabit cluster with commands of
+10, 100 and 1000 bytes and reports committed commands per second; CPU (mostly
+message handling) is the bottleneck.  We reproduce the setup with the
+simulator's CPU/batching cost model on a negligible-latency network: every
+replica is saturated by window-based clients, and throughput is the number of
+commands committed at the originating replicas during the measurement window.
+
+Absolute numbers depend on the CPU cost constants (documented in DESIGN.md /
+EXPERIMENTS.md); the protocol-to-protocol ratios and the crossover between
+small and large commands are the reproduced result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..config import ClusterSpec, ProtocolConfig
+from ..net.latency import LatencyMatrix
+from ..sim.cluster import SimulatedCluster
+from ..sim.node import CpuModel
+from ..statemachine import NullStateMachine
+from ..types import Micros, ms_to_micros, seconds_to_micros
+from ..workload.scenarios import saturating_workload
+
+#: Protocols shown in Figure 8.
+THROUGHPUT_PROTOCOLS: tuple[str, ...] = ("clock-rsm", "mencius-bcast", "paxos", "paxos-bcast")
+
+#: Command sizes shown in Figure 8 (bytes).
+COMMAND_SIZES: tuple[int, ...] = (10, 100, 1000)
+
+#: Local-cluster one-way latency (the paper's Gigabit LAN, ~0.1 ms RTT).
+LOCAL_ONE_WAY_DELAY: Micros = 50
+
+#: CPU model used for the throughput experiments.  The constants are scaled
+#: so that a single run saturates within a short simulated window; only the
+#: relative costs (fixed-per-message vs per-byte) shape the results.
+DEFAULT_CPU_MODEL = CpuModel(
+    recv_fixed=20.0,
+    recv_per_byte=0.03,
+    send_fixed=20.0,
+    send_per_byte=0.03,
+    client_fixed=5.0,
+)
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Throughput of one (protocol, command size) combination."""
+
+    protocol: str
+    command_size: int
+    committed: int
+    window_seconds: float
+    throughput_kops: float
+    replica_utilization: dict[int, float]
+
+
+def run_throughput_experiment(
+    protocol: str,
+    command_size: int,
+    *,
+    replica_count: int = 5,
+    window: Micros = seconds_to_micros(1.0),
+    warmup: Micros = ms_to_micros(200.0),
+    outstanding_per_replica: int = 128,
+    cpu_model: CpuModel = DEFAULT_CPU_MODEL,
+    seed: int = 7,
+) -> ThroughputResult:
+    """Measure saturated throughput for one protocol and command size."""
+    sites = [f"dc{i}" for i in range(replica_count)]
+    spec = ClusterSpec.from_sites(sites)
+    matrix = LatencyMatrix.uniform(sites, one_way=LOCAL_ONE_WAY_DELAY)
+    cluster = SimulatedCluster(
+        spec,
+        matrix,
+        protocol,
+        ProtocolConfig(leader=0, clocktime_interval=ms_to_micros(5.0)),
+        seed=seed,
+        cpu_model=cpu_model,
+        state_machine_factory=lambda _rid: NullStateMachine(),
+    )
+    handle = saturating_workload(
+        cluster, command_size, window_per_replica=outstanding_per_replica, warmup=warmup
+    )
+    cluster.run_for(warmup + window)
+    handle.stop()
+
+    committed = handle.collector.count()
+    window_seconds = window / 1_000_000
+    utilization = {
+        rid: round(node.utilization(warmup + window), 3) for rid, node in cluster.nodes.items()
+    }
+    return ThroughputResult(
+        protocol=protocol,
+        command_size=command_size,
+        committed=committed,
+        window_seconds=window_seconds,
+        throughput_kops=committed / window_seconds / 1_000.0,
+        replica_utilization=utilization,
+    )
+
+
+def run_throughput_comparison(
+    protocols: Sequence[str] = THROUGHPUT_PROTOCOLS,
+    command_sizes: Sequence[int] = COMMAND_SIZES,
+    **kwargs,
+) -> list[ThroughputResult]:
+    """Figure 8: every protocol at every command size."""
+    results = []
+    for size in command_sizes:
+        for protocol in protocols:
+            results.append(run_throughput_experiment(protocol, size, **kwargs))
+    return results
+
+
+__all__ = [
+    "THROUGHPUT_PROTOCOLS",
+    "COMMAND_SIZES",
+    "DEFAULT_CPU_MODEL",
+    "ThroughputResult",
+    "run_throughput_experiment",
+    "run_throughput_comparison",
+]

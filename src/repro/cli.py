@@ -1,0 +1,199 @@
+"""Command-line interface for the Clock-RSM reproduction.
+
+Exposes the benchmark harness without pytest::
+
+    python -m repro.cli latency --sites CA VA IR JP SG --leader VA
+    python -m repro.cli imbalanced --sites CA VA IR JP SG --leader CA
+    python -m repro.cli throughput --sizes 10 100 1000
+    python -m repro.cli numerical
+    python -m repro.cli analyze --sites CA IR BR
+
+Installed as the ``clock-rsm-repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.comparison import best_paxos_bcast_leader, compare_group
+from .analysis.ec2 import EC2_SITES, ec2_latency_matrix
+from .bench.latency_experiments import (
+    LATENCY_PROTOCOLS,
+    LatencyExperimentConfig,
+    run_imbalanced_comparison,
+    run_latency_comparison,
+)
+from .bench.numerical import figure7_data, table2_rows, table4_rows
+from .bench.reporting import (
+    format_latency_table,
+    format_table,
+    format_throughput,
+)
+from .bench.throughput import run_throughput_comparison
+from .types import seconds_to_micros
+
+
+def _add_site_arguments(parser: argparse.ArgumentParser, default_sites: Sequence[str]) -> None:
+    parser.add_argument(
+        "--sites", nargs="+", default=list(default_sites), choices=EC2_SITES,
+        help="EC2 sites hosting a replica (Table III data centers)",
+    )
+    parser.add_argument("--leader", default=None, choices=EC2_SITES,
+                        help="Paxos / Paxos-bcast leader site")
+    parser.add_argument("--seconds", type=float, default=8.0,
+                        help="simulated seconds of workload per protocol")
+    parser.add_argument("--clients", type=int, default=12,
+                        help="closed-loop clients per site")
+    parser.add_argument("--seed", type=int, default=42, help="simulation seed")
+    parser.add_argument(
+        "--protocols", nargs="+", default=list(LATENCY_PROTOCOLS),
+        choices=list(LATENCY_PROTOCOLS) + ["mencius"],
+        help="protocols to compare",
+    )
+
+
+def _resolve_leader(sites: Sequence[str], leader: Optional[str]) -> str:
+    if leader is not None:
+        if leader not in sites:
+            raise SystemExit(f"leader {leader} is not among the selected sites {list(sites)}")
+        return leader
+    matrix = ec2_latency_matrix(sites)
+    return sites[best_paxos_bcast_leader(matrix)]
+
+
+def _latency_config(args: argparse.Namespace, balanced: bool, origin: Optional[str] = None):
+    leader = _resolve_leader(args.sites, args.leader)
+    return LatencyExperimentConfig(
+        sites=tuple(args.sites),
+        leader_site=leader,
+        balanced=balanced,
+        origin_site=origin,
+        duration=seconds_to_micros(args.seconds),
+        warmup=seconds_to_micros(min(2.0, args.seconds / 4)),
+        clients_per_replica=args.clients,
+        seed=args.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    """Balanced-workload latency comparison (Figures 1 and 2)."""
+    config = _latency_config(args, balanced=True)
+    results = run_latency_comparison(config, protocols=args.protocols)
+    print(format_latency_table(
+        results, args.sites,
+        f"Balanced workload, leader {config.leader_site}, {args.seconds:.0f} s simulated",
+    ))
+    return 0
+
+
+def cmd_imbalanced(args: argparse.Namespace) -> int:
+    """Imbalanced-workload latency comparison (Figure 5): one run per origin."""
+    leader = _resolve_leader(args.sites, args.leader)
+    results = run_imbalanced_comparison(
+        sites=tuple(args.sites),
+        leader_site=leader,
+        protocols=tuple(args.protocols),
+        duration=seconds_to_micros(args.seconds),
+        warmup=seconds_to_micros(min(2.0, args.seconds / 4)),
+        clients_per_replica=args.clients,
+        seed=args.seed,
+    )
+    print(format_latency_table(
+        results, args.sites, f"Imbalanced workload (one origin per run), leader {leader}"
+    ))
+    return 0
+
+
+def cmd_throughput(args: argparse.Namespace) -> int:
+    """Saturated-throughput comparison (Figure 8)."""
+    results = run_throughput_comparison(
+        command_sizes=tuple(args.sizes),
+        replica_count=args.replicas,
+        window=seconds_to_micros(args.window),
+        warmup=seconds_to_micros(args.window / 4),
+    )
+    print(format_throughput(results, "Saturated throughput (kop/s)"))
+    return 0
+
+
+def cmd_numerical(args: argparse.Namespace) -> int:
+    """Analytical comparison over all placements (Figure 7 and Table IV)."""
+    print(format_table(figure7_data(), "Figure 7: average latency by group size"))
+    print(format_table(table4_rows(), "Table IV: latency reduction of Clock-RSM over Paxos-bcast"))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Table II instantiation and placement advice for a chosen set of sites."""
+    sites = list(dict.fromkeys(args.sites))
+    if len(sites) < 3:
+        raise SystemExit("pick at least three sites")
+    leader = _resolve_leader(sites, args.leader)
+    print(format_table(
+        table2_rows(sites, leader), f"Expected commit latency (ms), leader {leader}"
+    ))
+    comparison = compare_group(sites)
+    delta = comparison.paxos_bcast_average - comparison.clock_rsm_average
+    verdict = (
+        f"Clock-RSM is better by {delta:.1f} ms on average"
+        if delta > 0
+        else f"Paxos-bcast (leader {comparison.paxos_bcast_leader}) is better by {-delta:.1f} ms on average"
+    )
+    print(verdict)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clock-rsm-repro",
+        description="Clock-RSM (DSN 2014) reproduction: latency/throughput experiments and analysis.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    latency = subparsers.add_parser("latency", help="balanced-workload latency comparison")
+    _add_site_arguments(latency, ("CA", "VA", "IR", "JP", "SG"))
+    latency.set_defaults(handler=cmd_latency)
+
+    imbalanced = subparsers.add_parser("imbalanced", help="imbalanced-workload latency comparison")
+    _add_site_arguments(imbalanced, ("CA", "VA", "IR", "JP", "SG"))
+    imbalanced.set_defaults(handler=cmd_imbalanced)
+
+    throughput = subparsers.add_parser("throughput", help="saturated throughput comparison")
+    throughput.add_argument("--sizes", nargs="+", type=int, default=[10, 100, 1000],
+                            help="command payload sizes in bytes")
+    throughput.add_argument("--replicas", type=int, default=5, help="number of replicas")
+    throughput.add_argument("--window", type=float, default=0.4,
+                            help="measurement window in simulated seconds")
+    throughput.set_defaults(handler=cmd_throughput)
+
+    numerical = subparsers.add_parser("numerical", help="analytical Figure 7 / Table IV")
+    numerical.set_defaults(handler=cmd_numerical)
+
+    analyze = subparsers.add_parser("analyze", help="Table II model for a custom placement")
+    analyze.add_argument("--sites", nargs="+", default=["CA", "VA", "IR"], choices=EC2_SITES)
+    analyze.add_argument("--leader", default=None, choices=EC2_SITES)
+    analyze.set_defaults(handler=cmd_analyze)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess/tests
+    sys.exit(main())

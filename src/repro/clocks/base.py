@@ -1,0 +1,136 @@
+"""Clock interfaces and monotonicity helpers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..errors import ClockError
+from ..types import Micros, ReplicaId, Timestamp
+
+
+class TimeSource(ABC):
+    """A source of "true" time, in microseconds.
+
+    In simulation the time source is the discrete-event environment; in the
+    asyncio runtime it is the operating system's monotonic clock.  Clock
+    models (:mod:`repro.clocks.physical`) derive possibly-skewed readings
+    from a time source.
+    """
+
+    @abstractmethod
+    def true_now(self) -> Micros:
+        """Return the current true time in microseconds."""
+
+
+class Clock(ABC):
+    """The clock interface consumed by the replication protocols.
+
+    A clock returns microsecond readings that are *loosely* synchronized with
+    other replicas' clocks.  Readings must be non-decreasing; Clock-RSM's
+    correctness does not depend on the synchronization precision, only on
+    monotonicity (which :class:`MonotonicClock` enforces for imperfect
+    sources).
+    """
+
+    @abstractmethod
+    def now(self) -> Micros:
+        """Return the current clock reading in microseconds."""
+
+
+class ManualClock(Clock):
+    """A clock advanced explicitly by the caller (used heavily in tests)."""
+
+    def __init__(self, start: Micros = 0) -> None:
+        self._now = start
+
+    def now(self) -> Micros:
+        return self._now
+
+    def advance(self, delta: Micros) -> Micros:
+        """Advance the clock by *delta* microseconds and return the new time."""
+        if delta < 0:
+            raise ClockError(f"cannot advance a clock backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set(self, value: Micros) -> None:
+        """Jump the clock to *value*; must not move backwards."""
+        if value < self._now:
+            raise ClockError(f"cannot move clock backwards from {self._now} to {value}")
+        self._now = value
+
+
+class MonotonicClock(Clock):
+    """Wraps another clock and guarantees non-decreasing readings.
+
+    The paper obtains monotonically increasing timestamps from
+    ``clock_gettime``; NTP adjustments may step a raw clock backwards, so the
+    runtime wraps raw clocks in this class.
+    """
+
+    def __init__(self, inner: Clock) -> None:
+        self._inner = inner
+        self._last: Micros = 0
+
+    def now(self) -> Micros:
+        reading = self._inner.now()
+        if reading < self._last:
+            reading = self._last
+        self._last = reading
+        return reading
+
+
+class MonotonicTimestampSource:
+    """Generates strictly increasing :class:`Timestamp` values for a replica.
+
+    Clock-RSM requires every replica to send PREPARE and PREPAREOK messages
+    in timestamp order, and two commands originating at the same replica must
+    never share a timestamp.  This source reads the replica's physical clock
+    and bumps the reading by one microsecond whenever the clock has not
+    advanced since the previous timestamp.
+    """
+
+    def __init__(self, clock: Clock, replica_id: ReplicaId) -> None:
+        self._clock = clock
+        self._replica_id = replica_id
+        self._last_micros: Micros = -1
+
+    @property
+    def replica_id(self) -> ReplicaId:
+        return self._replica_id
+
+    def last_issued(self) -> Micros:
+        """The microsecond component of the most recently issued timestamp."""
+        return self._last_micros
+
+    def next(self) -> Timestamp:
+        """Return a fresh timestamp strictly greater than any issued before."""
+        reading = self._clock.now()
+        if reading <= self._last_micros:
+            reading = self._last_micros + 1
+        self._last_micros = reading
+        return Timestamp(reading, self._replica_id)
+
+    def observe(self, micros: Micros) -> None:
+        """Record that *micros* was carried by an outgoing message.
+
+        Keeps the "never send a smaller timestamp afterwards" promise when a
+        clock reading is sent directly (e.g. CLOCKTIME broadcasts).
+        """
+        if micros > self._last_micros:
+            self._last_micros = micros
+
+
+ClockFactory = Callable[[ReplicaId], Clock]
+"""Factory signature used by cluster builders to create per-replica clocks."""
+
+
+__all__ = [
+    "TimeSource",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "MonotonicTimestampSource",
+    "ClockFactory",
+]

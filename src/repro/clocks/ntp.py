@@ -1,0 +1,103 @@
+"""An NTP-style clock synchronizer for simulated deployments.
+
+The paper runs ``ntpd`` against nearby public servers at every data center.
+For the simulated deployment we provide a small synchronizer that implements
+the classic NTP offset/delay estimator over four timestamps and slews a
+:class:`~repro.clocks.physical.SkewedClock` or
+:class:`~repro.clocks.physical.DriftingClock` toward the reference.
+
+The synchronizer is intentionally simple (no Marzullo intersection, no
+per-peer filtering); its purpose is to keep simulated clock errors within a
+configurable bound so that experiments can demonstrate Clock-RSM's
+insensitivity to loose synchronization, not to reproduce ntpd itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..types import Micros
+
+
+class AdjustableClock(Protocol):
+    """A clock whose offset can be slewed (duck-typed)."""
+
+    def now(self) -> Micros: ...
+
+    def adjust(self, delta: Micros) -> None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class NtpSample:
+    """The four timestamps of one NTP request/response exchange.
+
+    Attributes:
+        t1: client transmit time (client clock).
+        t2: server receive time (server clock).
+        t3: server transmit time (server clock).
+        t4: client receive time (client clock).
+    """
+
+    t1: Micros
+    t2: Micros
+    t3: Micros
+    t4: Micros
+
+    @property
+    def offset(self) -> Micros:
+        """Estimated offset of the server clock relative to the client clock."""
+        return ((self.t2 - self.t1) + (self.t3 - self.t4)) // 2
+
+    @property
+    def delay(self) -> Micros:
+        """Estimated round-trip network delay of the exchange."""
+        return (self.t4 - self.t1) - (self.t3 - self.t2)
+
+
+class NtpSynchronizer:
+    """Slews a local clock toward a reference using NTP offset samples.
+
+    Args:
+        clock: The adjustable local clock.
+        slew_fraction: Fraction of the estimated offset corrected per sample.
+            1.0 steps immediately; smaller values model gradual slewing.
+        min_correction: Offsets smaller than this are ignored (dead band).
+    """
+
+    def __init__(
+        self,
+        clock: AdjustableClock,
+        slew_fraction: float = 0.5,
+        min_correction: Micros = 100,
+    ) -> None:
+        if not 0.0 < slew_fraction <= 1.0:
+            raise ValueError("slew_fraction must be in (0, 1]")
+        self._clock = clock
+        self._slew_fraction = slew_fraction
+        self._min_correction = min_correction
+        self._samples: list[NtpSample] = []
+
+    @property
+    def samples(self) -> tuple[NtpSample, ...]:
+        """All samples observed so far (most recent last)."""
+        return tuple(self._samples)
+
+    def ingest(self, sample: NtpSample) -> Micros:
+        """Apply one NTP exchange and return the correction applied (µs)."""
+        self._samples.append(sample)
+        offset = sample.offset
+        if abs(offset) < self._min_correction:
+            return 0
+        correction = int(offset * self._slew_fraction)
+        self._clock.adjust(correction)
+        return correction
+
+    def estimated_error(self) -> Micros:
+        """Magnitude of the most recent offset estimate (0 if no samples)."""
+        if not self._samples:
+            return 0
+        return abs(self._samples[-1].offset)
+
+
+__all__ = ["NtpSample", "NtpSynchronizer", "AdjustableClock"]

@@ -1,0 +1,44 @@
+"""Clock-RSM: the paper's replication protocol.
+
+* :mod:`repro.core.messages` — PREPARE / PREPAREOK / CLOCKTIME messages, log
+  records, and reconfiguration messages.
+* :mod:`repro.core.state` — the soft state of Algorithm 1 (``PendingCmds``,
+  ``LatestTV``, ``RepCounter``) and the commit rule.
+* :mod:`repro.core.protocol` — :class:`ClockRsmReplica`, implementing
+  Algorithm 1 plus the Algorithm 2 CLOCKTIME extension.
+* :mod:`repro.core.reconfig` — the Algorithm 3 reconfiguration protocol.
+* :mod:`repro.core.recovery` — log replay and reintegration.
+"""
+
+from .messages import (
+    ClockTime,
+    CommitRecord,
+    Prepare,
+    PrepareOk,
+    PrepareRecord,
+    RetrieveCmds,
+    RetrieveReply,
+    Suspend,
+    SuspendOk,
+)
+from .protocol import ClockRsmReplica
+from .recovery import RecoveredState, replay_log
+from .state import ClockRsmState, CommitStatus, PendingCommand
+
+__all__ = [
+    "Prepare",
+    "PrepareOk",
+    "ClockTime",
+    "PrepareRecord",
+    "CommitRecord",
+    "Suspend",
+    "SuspendOk",
+    "RetrieveCmds",
+    "RetrieveReply",
+    "ClockRsmReplica",
+    "ClockRsmState",
+    "PendingCommand",
+    "CommitStatus",
+    "replay_log",
+    "RecoveredState",
+]

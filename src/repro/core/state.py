@@ -1,0 +1,190 @@
+"""Soft protocol state of a Clock-RSM replica and the commit rule.
+
+The state corresponds to the paper's ``PendingCmds``, ``LatestTV``, and
+``RepCounter`` (Table I).  It is kept separate from the replica class so the
+commit rule can be unit- and property-tested in isolation, and so the
+latency-attribution tooling can ask *which* of the three commit conditions is
+currently blocking a command.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..errors import ProtocolError
+from ..types import Command, Micros, ReplicaId, Timestamp
+
+
+class CommitStatus(Enum):
+    """Why a pending command is (not yet) committable."""
+
+    COMMITTABLE = "committable"
+    AWAITING_MAJORITY = "awaiting-majority"
+    AWAITING_STABLE_ORDER = "awaiting-stable-order"
+    AWAITING_PREFIX = "awaiting-prefix"
+    UNKNOWN_COMMAND = "unknown-command"
+
+
+@dataclass(frozen=True, slots=True)
+class PendingCommand:
+    """A command that has been prepared but not yet committed."""
+
+    command: Command
+    ts: Timestamp
+    origin: ReplicaId
+    received_at: Micros = 0
+
+
+class ClockRsmState:
+    """The mutable soft state of Algorithm 1.
+
+    Attributes:
+        quorum_size: Majority of the replica specification.
+        latest_tv: The paper's ``LatestTV`` — for each active replica, the
+            greatest clock reading (µs) carried by any message received from
+            it.  Because every replica sends messages in timestamp order,
+            ``latest_tv[k]`` is a promise that no future message from ``k``
+            carries a smaller timestamp.
+    """
+
+    def __init__(self, active_config: Iterable[ReplicaId], quorum_size: int) -> None:
+        active = tuple(active_config)
+        if quorum_size <= 0 or quorum_size > len(active):
+            if quorum_size <= 0:
+                raise ProtocolError(f"invalid quorum size {quorum_size}")
+        self.quorum_size = quorum_size
+        self.latest_tv: dict[ReplicaId, Micros] = {r: 0 for r in active}
+        self._pending: dict[Timestamp, PendingCommand] = {}
+        self._pending_heap: list[Timestamp] = []
+        self._acks: dict[Timestamp, set[ReplicaId]] = {}
+
+    # -- configuration changes ------------------------------------------------
+
+    def resize_config(self, active_config: Iterable[ReplicaId]) -> None:
+        """Resize and update ``LatestTV`` after a reconfiguration (Alg. 3 l.23)."""
+        active = tuple(active_config)
+        old = self.latest_tv
+        self.latest_tv = {r: old.get(r, 0) for r in active}
+
+    # -- pending command bookkeeping -------------------------------------------
+
+    def add_pending(self, entry: PendingCommand) -> None:
+        if entry.ts in self._pending:
+            # Duplicate PREPARE (possible after reconfiguration retransmits);
+            # keep the first copy, they are identical by construction.
+            return
+        self._pending[entry.ts] = entry
+        heapq.heappush(self._pending_heap, entry.ts)
+
+    def has_pending(self, ts: Timestamp) -> bool:
+        return ts in self._pending
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_commands(self) -> list[PendingCommand]:
+        """All pending commands in timestamp order (for reconfiguration)."""
+        return [self._pending[ts] for ts in sorted(self._pending)]
+
+    def min_pending(self) -> Optional[PendingCommand]:
+        """The pending command with the smallest timestamp, if any."""
+        while self._pending_heap:
+            ts = self._pending_heap[0]
+            entry = self._pending.get(ts)
+            if entry is None:
+                heapq.heappop(self._pending_heap)  # lazily discard removed entries
+                continue
+            return entry
+        return None
+
+    def remove_pending(self, ts: Timestamp) -> Optional[PendingCommand]:
+        entry = self._pending.pop(ts, None)
+        self._acks.pop(ts, None)
+        return entry
+
+    def drop_pending_above(self, cut: Timestamp) -> list[PendingCommand]:
+        """Remove pending commands with timestamps above *cut* (reconfiguration)."""
+        dropped = [e for ts, e in self._pending.items() if ts > cut]
+        for entry in dropped:
+            self.remove_pending(entry.ts)
+        return dropped
+
+    # -- replication acknowledgements ------------------------------------------
+
+    def record_ack(self, ts: Timestamp, replica: ReplicaId) -> int:
+        """Record that *replica* logged the command with timestamp *ts*.
+
+        Returns the number of distinct replicas known to have logged it.
+        Acks may arrive before the PREPARE itself (the acknowledging replica
+        may be closer to the originator than we are), so this state is kept
+        independently of ``PendingCmds``.
+        """
+        acks = self._acks.setdefault(ts, set())
+        acks.add(replica)
+        return len(acks)
+
+    def ack_count(self, ts: Timestamp) -> int:
+        return len(self._acks.get(ts, ()))
+
+    def ackers(self, ts: Timestamp) -> frozenset[ReplicaId]:
+        return frozenset(self._acks.get(ts, ()))
+
+    # -- LatestTV ---------------------------------------------------------------
+
+    def observe_clock(self, replica: ReplicaId, micros: Micros) -> None:
+        """Update ``LatestTV[replica]`` with a clock reading carried by a message."""
+        if replica not in self.latest_tv:
+            return  # message from a replica outside the active configuration
+        if micros > self.latest_tv[replica]:
+            self.latest_tv[replica] = micros
+
+    def min_latest(self) -> Micros:
+        """``min(LatestTV)`` over the active configuration."""
+        return min(self.latest_tv.values())
+
+    def stable_up_to(self, ts: Timestamp) -> bool:
+        """True when no active replica can still send a timestamp below *ts*."""
+        return ts.micros <= self.min_latest()
+
+    # -- the commit rule (Algorithm 1, COMMITTED) --------------------------------
+
+    def commit_status(self, ts: Timestamp) -> CommitStatus:
+        """Evaluate the three commit conditions for the command at *ts*."""
+        if ts not in self._pending:
+            return CommitStatus.UNKNOWN_COMMAND
+        minimum = self.min_pending()
+        if minimum is not None and minimum.ts < ts:
+            # A smaller-timestamped command is still pending: prefix
+            # replication (condition 3) has not been satisfied yet.
+            return CommitStatus.AWAITING_PREFIX
+        if self.ack_count(ts) < self.quorum_size:
+            return CommitStatus.AWAITING_MAJORITY
+        if not self.stable_up_to(ts):
+            return CommitStatus.AWAITING_STABLE_ORDER
+        return CommitStatus.COMMITTABLE
+
+    def next_committable(self) -> Optional[PendingCommand]:
+        """The smallest pending command if it satisfies all three conditions."""
+        entry = self.min_pending()
+        if entry is None:
+            return None
+        if self.ack_count(entry.ts) < self.quorum_size:
+            return None
+        if not self.stable_up_to(entry.ts):
+            return None
+        return entry
+
+    def describe(self) -> dict[str, object]:
+        """Debug snapshot of the soft state."""
+        return {
+            "pending": len(self._pending),
+            "latest_tv": dict(self.latest_tv),
+            "min_latest": self.min_latest() if self.latest_tv else None,
+            "quorum_size": self.quorum_size,
+        }
+
+
+__all__ = ["ClockRsmState", "PendingCommand", "CommitStatus"]

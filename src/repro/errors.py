@@ -1,0 +1,89 @@
+"""Exception hierarchy for the Clock-RSM reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every library-specific error."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster or protocol configuration is invalid."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (indicates a bug or corruption)."""
+
+
+class StaleEpochError(ProtocolError):
+    """A message from an older epoch was received after a reconfiguration."""
+
+    def __init__(self, message_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"message epoch {message_epoch} is older than current epoch {current_epoch}"
+        )
+        self.message_epoch = message_epoch
+        self.current_epoch = current_epoch
+
+
+class NotLeaderError(ProtocolError):
+    """A leader-only operation was attempted on a non-leader replica."""
+
+
+class StorageError(ReproError):
+    """Stable storage (command log / checkpoint) failure."""
+
+
+class LogCorruptionError(StorageError):
+    """The on-disk command log failed integrity checks during replay."""
+
+
+class TransportError(ReproError):
+    """A transport could not deliver or encode a message."""
+
+
+class CodecError(TransportError):
+    """Wire-format encoding or decoding failed."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class ClockError(ReproError):
+    """A clock produced a non-monotonic or otherwise invalid reading."""
+
+
+class ReconfigurationError(ReproError):
+    """Reconfiguration could not complete (e.g. no majority reachable)."""
+
+
+class UnavailableError(ReproError):
+    """The requested operation cannot currently be served (no quorum)."""
+
+
+class ClientError(ReproError):
+    """Client-side request failure (timeout, redirected, cancelled)."""
+
+
+class RequestTimeout(ClientError):
+    """A client request did not commit within its deadline."""
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "StaleEpochError",
+    "NotLeaderError",
+    "StorageError",
+    "LogCorruptionError",
+    "TransportError",
+    "CodecError",
+    "SimulationError",
+    "ClockError",
+    "ReconfigurationError",
+    "UnavailableError",
+    "ClientError",
+    "RequestTimeout",
+]

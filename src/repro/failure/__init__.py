@@ -1,0 +1,5 @@
+"""Failure detection."""
+
+from .detector import FailureDetector, ReplicaStatus
+
+__all__ = ["FailureDetector", "ReplicaStatus"]

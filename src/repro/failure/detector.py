@@ -1,0 +1,106 @@
+"""A timeout-based failure detector.
+
+The paper assumes an eventually-accurate failure detector ("failure detectors
+may provide wrong results, but eventually all faulty processes are suspected
+and at least one non-faulty process is not suspected") implemented in
+practice with timeouts.  :class:`FailureDetector` records when a replica was
+last heard from and suspects replicas that have been silent for longer than
+the configured timeout; the surrounding runtime decides what to do with a
+suspicion (typically trigger the Clock-RSM reconfiguration protocol).
+
+The detector is sans-IO like the protocols: callers feed it heartbeats (any
+received message counts) and poll it with the current time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from ..types import Micros, ReplicaId
+
+
+class ReplicaStatus(Enum):
+    """Detector verdict for one replica."""
+
+    ALIVE = "alive"
+    SUSPECTED = "suspected"
+
+
+@dataclass(frozen=True, slots=True)
+class SuspicionChange:
+    """A replica transitioned between alive and suspected."""
+
+    replica_id: ReplicaId
+    status: ReplicaStatus
+    at: Micros
+
+
+class FailureDetector:
+    """Suspects replicas that have been silent for longer than *timeout*.
+
+    Args:
+        monitored: The replicas to monitor (typically the spec minus self).
+        timeout: Silence threshold in microseconds.
+        now: The current time; subsequent calls pass the current time too,
+            which keeps the detector independent of any particular clock.
+    """
+
+    def __init__(self, monitored: Iterable[ReplicaId], timeout: Micros, now: Micros = 0) -> None:
+        if timeout <= 0:
+            raise ValueError("failure detector timeout must be positive")
+        self.timeout = timeout
+        self._last_heard: dict[ReplicaId, Micros] = {r: now for r in monitored}
+        self._suspected: set[ReplicaId] = set()
+
+    # -- inputs ------------------------------------------------------------------
+
+    def heard_from(self, replica_id: ReplicaId, now: Micros) -> None:
+        """Record that a message (or heartbeat) arrived from *replica_id*."""
+        if replica_id in self._last_heard:
+            self._last_heard[replica_id] = max(self._last_heard[replica_id], now)
+
+    def monitor(self, replica_id: ReplicaId, now: Micros) -> None:
+        """Start monitoring a replica (e.g. after it rejoins)."""
+        self._last_heard.setdefault(replica_id, now)
+        self._suspected.discard(replica_id)
+
+    def forget(self, replica_id: ReplicaId) -> None:
+        """Stop monitoring a replica (e.g. removed from the configuration)."""
+        self._last_heard.pop(replica_id, None)
+        self._suspected.discard(replica_id)
+
+    # -- queries -------------------------------------------------------------------
+
+    def check(self, now: Micros) -> list[SuspicionChange]:
+        """Re-evaluate every monitored replica; returns status transitions."""
+        changes: list[SuspicionChange] = []
+        for replica_id, last in self._last_heard.items():
+            silent_for = now - last
+            if silent_for > self.timeout and replica_id not in self._suspected:
+                self._suspected.add(replica_id)
+                changes.append(SuspicionChange(replica_id, ReplicaStatus.SUSPECTED, now))
+            elif silent_for <= self.timeout and replica_id in self._suspected:
+                self._suspected.discard(replica_id)
+                changes.append(SuspicionChange(replica_id, ReplicaStatus.ALIVE, now))
+        return changes
+
+    def is_suspected(self, replica_id: ReplicaId) -> bool:
+        return replica_id in self._suspected
+
+    def suspected(self) -> frozenset[ReplicaId]:
+        return frozenset(self._suspected)
+
+    def alive(self) -> frozenset[ReplicaId]:
+        return frozenset(set(self._last_heard) - self._suspected)
+
+    def status(self, replica_id: ReplicaId) -> ReplicaStatus:
+        return (
+            ReplicaStatus.SUSPECTED
+            if replica_id in self._suspected
+            else ReplicaStatus.ALIVE
+        )
+
+
+__all__ = ["FailureDetector", "ReplicaStatus", "SuspicionChange"]

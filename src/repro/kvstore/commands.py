@@ -1,0 +1,90 @@
+"""Key-value command encoding.
+
+Commands are opaque byte payloads to the replication protocols; this module
+defines the payload format for the key-value store: a small wire-encoded list
+``[op, key, value]`` where ``op`` is one of ``"put"``, ``"get"``,
+``"delete"``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CodecError
+from ..net.wire import decode, encode
+
+PUT = "put"
+GET = "get"
+DELETE = "delete"
+
+_VALID_OPS = frozenset({PUT, GET, DELETE})
+
+
+@dataclass(frozen=True, slots=True)
+class KvOp:
+    """A decoded key-value operation."""
+
+    op: str
+    key: str
+    value: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise CodecError(f"unknown key-value operation {self.op!r}")
+
+
+def encode_put(key: str, value: bytes) -> bytes:
+    """Payload for ``PUT key value``."""
+    return encode([PUT, key, bytes(value)])
+
+
+def encode_get(key: str) -> bytes:
+    """Payload for ``GET key`` (reads also go through the protocol, which is
+    what gives Clock-RSM linearizable reads)."""
+    return encode([GET, key, b""])
+
+
+def encode_delete(key: str) -> bytes:
+    """Payload for ``DELETE key``."""
+    return encode([DELETE, key, b""])
+
+
+def decode_op(payload: bytes) -> KvOp:
+    """Decode a key-value payload; raises :class:`CodecError` if malformed."""
+    try:
+        fields = decode(payload)
+    except CodecError:
+        raise
+    if (
+        not isinstance(fields, list)
+        or len(fields) != 3
+        or not isinstance(fields[0], str)
+        or not isinstance(fields[1], str)
+        or not isinstance(fields[2], (bytes, bytearray))
+    ):
+        raise CodecError(f"malformed key-value payload: {fields!r}")
+    op, key, value = fields
+    return KvOp(op, key, bytes(value) if op == PUT else None)
+
+
+def random_update(
+    rng: random.Random, key_space: int = 1000, value_size: int = 64, key_prefix: str = "key"
+) -> bytes:
+    """A PUT to a uniformly random key, as the paper's clients issue."""
+    key = f"{key_prefix}-{rng.randrange(key_space)}"
+    return encode_put(key, bytes(value_size))
+
+
+__all__ = [
+    "PUT",
+    "GET",
+    "DELETE",
+    "KvOp",
+    "encode_put",
+    "encode_get",
+    "encode_delete",
+    "decode_op",
+    "random_update",
+]

@@ -1,0 +1,62 @@
+"""The key-value state machine."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.wire import decode, encode
+from ..statemachine import StateMachine
+from ..types import Command
+from .commands import DELETE, GET, PUT, decode_op
+
+
+class KVStateMachine(StateMachine):
+    """An in-memory key-value store driven by replicated commands.
+
+    Outputs:
+        * ``PUT`` returns the previous value (or ``None``).
+        * ``GET`` returns the current value (or ``None``).
+        * ``DELETE`` returns whether the key existed.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, bytes] = {}
+        self.applied_count = 0
+
+    # -- StateMachine interface ------------------------------------------------
+
+    def apply(self, command: Command) -> Optional[bytes] | bool:
+        op = decode_op(command.payload)
+        self.applied_count += 1
+        if op.op == PUT:
+            previous = self._data.get(op.key)
+            self._data[op.key] = op.value or b""
+            return previous
+        if op.op == GET:
+            return self._data.get(op.key)
+        if op.op == DELETE:
+            return self._data.pop(op.key, None) is not None
+        raise AssertionError(f"unreachable operation {op.op!r}")
+
+    def snapshot(self) -> bytes:
+        return encode({"applied": self.applied_count, "data": dict(self._data)})
+
+    def restore(self, snapshot: bytes) -> None:
+        decoded = decode(snapshot)
+        self.applied_count = int(decoded["applied"])
+        self._data = {str(k): bytes(v) for k, v in decoded["data"].items()}
+
+    # -- local inspection (not part of the replicated interface) ------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Read a key directly from local state (used by tests/examples)."""
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> list[str]:
+        return sorted(self._data)
+
+
+__all__ = ["KVStateMachine"]

@@ -1,0 +1,13 @@
+"""Measurement utilities: latency statistics, CDFs, throughput counters."""
+
+from .collector import LatencyCollector, ThroughputCounter
+from .stats import LatencySummary, cdf_points, percentile, summarize_micros
+
+__all__ = [
+    "LatencyCollector",
+    "ThroughputCounter",
+    "LatencySummary",
+    "percentile",
+    "cdf_points",
+    "summarize_micros",
+]

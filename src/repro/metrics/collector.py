@@ -1,0 +1,89 @@
+"""Collectors that attach to a simulated cluster and record measurements."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import CommandId, Micros, ReplicaId, micros_to_ms
+from .stats import LatencySummary, cdf_points, summarize_micros
+
+
+class LatencyCollector:
+    """Records per-command commit latency at the originating replica.
+
+    Workload generators call :meth:`record_submit` when a command leaves a
+    client; the cluster's reply hook calls :meth:`record_commit` when the
+    originating replica answers.  Latencies are grouped per replica, matching
+    the per-site bars of the paper's latency figures.
+    """
+
+    def __init__(self, warmup_until: Micros = 0) -> None:
+        #: Measurements submitted before this simulation time are discarded.
+        self.warmup_until = warmup_until
+        self._submit_times: dict[CommandId, tuple[ReplicaId, Micros]] = {}
+        self._latencies: dict[ReplicaId, list[Micros]] = defaultdict(list)
+
+    def record_submit(self, command_id: CommandId, replica_id: ReplicaId, time: Micros) -> None:
+        self._submit_times[command_id] = (replica_id, time)
+
+    def record_commit(self, command_id: CommandId, time: Micros) -> None:
+        entry = self._submit_times.pop(command_id, None)
+        if entry is None:
+            return
+        replica_id, submit_time = entry
+        if submit_time < self.warmup_until:
+            return
+        self._latencies[replica_id].append(time - submit_time)
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Commands submitted but not yet committed."""
+        return len(self._submit_times)
+
+    def count(self, replica_id: Optional[ReplicaId] = None) -> int:
+        if replica_id is None:
+            return sum(len(v) for v in self._latencies.values())
+        return len(self._latencies.get(replica_id, ()))
+
+    def latencies_micros(self, replica_id: ReplicaId) -> list[Micros]:
+        return list(self._latencies.get(replica_id, ()))
+
+    def all_latencies_micros(self) -> list[Micros]:
+        return [value for values in self._latencies.values() for value in values]
+
+    def summary(self, replica_id: ReplicaId) -> LatencySummary:
+        return summarize_micros(self.latencies_micros(replica_id))
+
+    def summaries(self) -> dict[ReplicaId, LatencySummary]:
+        return {rid: summarize_micros(values) for rid, values in self._latencies.items() if values}
+
+    def cdf_ms(self, replica_id: ReplicaId) -> list[tuple[float, float]]:
+        """Empirical latency CDF at a replica, values in milliseconds."""
+        return cdf_points([micros_to_ms(v) for v in self.latencies_micros(replica_id)])
+
+
+@dataclass
+class ThroughputCounter:
+    """Counts committed commands in a measurement window."""
+
+    window_start: Micros = 0
+    window_end: Micros = 0
+    committed: int = 0
+
+    def record(self, time: Micros) -> None:
+        if self.window_start <= time and (self.window_end == 0 or time <= self.window_end):
+            self.committed += 1
+
+    def throughput_kops(self) -> float:
+        """Committed commands per second, in thousands (the paper's kop/s)."""
+        if self.window_end <= self.window_start:
+            raise ValueError("measurement window is empty")
+        seconds = (self.window_end - self.window_start) / 1_000_000
+        return self.committed / seconds / 1_000.0
+
+
+__all__ = ["LatencyCollector", "ThroughputCounter"]

@@ -1,0 +1,140 @@
+"""Message registry and transport envelopes.
+
+Every protocol message in this library is a frozen dataclass.  To cross a
+real transport (TCP) or be appended to a file-backed log, a message type must
+be *registered* so the wire codec can round-trip it by name.  Registration is
+done with the :func:`register_message` decorator; the protocols register all
+their message types at import time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Type, TypeVar
+
+from ..errors import CodecError
+from ..types import ReplicaId
+from .wire import WireDecoder, WireEncoder, dataclass_fields
+
+T = TypeVar("T")
+
+
+class MessageRegistry:
+    """Maps message type names to dataclass types for codec round-trips."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, type] = {}
+        self._by_type: dict[type, str] = {}
+
+    def register(self, cls: Type[T], name: Optional[str] = None) -> Type[T]:
+        """Register *cls* under *name* (defaults to the class name)."""
+        if not dataclasses.is_dataclass(cls):
+            raise CodecError(f"only dataclasses can be registered, got {cls!r}")
+        key = name or cls.__name__
+        existing = self._by_name.get(key)
+        if existing is not None and existing is not cls:
+            raise CodecError(f"message name {key!r} already registered to {existing!r}")
+        self._by_name[key] = cls
+        self._by_type[cls] = key
+        return cls
+
+    def names(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def is_registered(self, cls: type) -> bool:
+        return cls in self._by_type
+
+    # -- codec hooks -------------------------------------------------------
+
+    def _encode_hook(self, value: Any) -> tuple[str, dict[str, Any]]:
+        name = self._by_type.get(type(value))
+        if name is None:
+            raise CodecError(f"unregistered message type {type(value).__name__}")
+        return name, dataclass_fields(value)
+
+    def _decode_hook(self, name: str, fields: dict[str, Any]) -> Any:
+        cls = self._by_name.get(name)
+        if cls is None:
+            raise CodecError(f"unknown message type {name!r}")
+        converted = _convert_fields(cls, fields)
+        return cls(**converted)
+
+    # -- public encode/decode ----------------------------------------------
+
+    def encode(self, value: Any) -> bytes:
+        """Encode a value that may contain registered message instances."""
+        return WireEncoder(object_hook=self._encode_hook).encode(value)
+
+    def decode(self, data: bytes) -> Any:
+        """Decode wire bytes produced by :meth:`encode`."""
+        return WireDecoder(object_hook=self._decode_hook).decode(data)
+
+
+def _convert_fields(cls: type, fields: dict[str, Any]) -> dict[str, Any]:
+    """Coerce decoded collections back to the declared field container types.
+
+    The wire format does not distinguish tuples from lists; frozen dataclass
+    fields declared as tuples are converted back so equality round-trips.
+    """
+    converted: dict[str, Any] = {}
+    declared = {f.name: f for f in dataclasses.fields(cls)}
+    for key, value in fields.items():
+        field = declared.get(key)
+        if field is None:
+            # Forward compatibility: ignore unknown fields.
+            continue
+        type_repr = str(field.type)
+        if isinstance(value, list) and ("tuple" in type_repr or "Tuple" in type_repr):
+            value = tuple(value)
+        converted[key] = value
+    return converted
+
+
+#: The library-wide registry used by the default transports and logs.
+global_registry = MessageRegistry()
+
+
+def register_message(cls: Type[T]) -> Type[T]:
+    """Class decorator registering a protocol message with the global registry."""
+    return global_registry.register(cls)
+
+
+# Core value types that appear inside protocol messages are registered here
+# so any message embedding them round-trips through the codec.
+from ..types import Command, CommandId, CommandResult, Timestamp  # noqa: E402
+
+global_registry.register(Timestamp)
+global_registry.register(CommandId)
+global_registry.register(Command)
+global_registry.register(CommandResult)
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A protocol message in flight between two replicas.
+
+    Attributes:
+        src: Sending replica id.
+        dst: Destination replica id.
+        message: The protocol message (a registered dataclass).
+        size_hint: Approximate serialized size in bytes; the simulator's
+            throughput model charges CPU proportional to this.  ``0`` means
+            "unknown", in which case transports may compute the real size.
+    """
+
+    src: ReplicaId
+    dst: ReplicaId
+    message: Any
+    size_hint: int = 0
+
+    def with_size(self, size: int) -> "Envelope":
+        return Envelope(self.src, self.dst, self.message, size)
+
+
+__all__ = [
+    "MessageRegistry",
+    "global_registry",
+    "register_message",
+    "Envelope",
+]

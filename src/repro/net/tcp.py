@@ -1,0 +1,169 @@
+"""Asyncio TCP transport with length-prefixed framing.
+
+Used by :mod:`repro.runtime.server` to run a real replicated key-value store
+on a set of sockets (the examples run all replicas in one process on
+localhost; the same code works across machines).
+
+Framing: each message is ``u32 big-endian length`` followed by the
+registry-encoded envelope payload ``{"src": int, "dst": int, "message": obj}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import struct
+from typing import Optional
+
+from ..errors import TransportError
+from ..types import ReplicaId
+from .message import Envelope, MessageRegistry, global_registry
+from .transport import Transport
+
+_LOGGER = logging.getLogger(__name__)
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on a single frame; protects against corrupted length prefixes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(envelope: Envelope, registry: MessageRegistry) -> bytes:
+    """Serialize an envelope into a length-prefixed frame."""
+    body = registry.encode(
+        {"src": envelope.src, "dst": envelope.dst, "message": envelope.message}
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {len(body)} bytes")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes, registry: MessageRegistry) -> Envelope:
+    """Deserialize a frame body (without the length prefix) into an envelope."""
+    decoded = registry.decode(body)
+    if not isinstance(decoded, dict) or not {"src", "dst", "message"} <= decoded.keys():
+        raise TransportError("malformed frame body")
+    return Envelope(
+        src=decoded["src"], dst=decoded["dst"], message=decoded["message"], size_hint=len(body)
+    )
+
+
+async def read_frame(reader: asyncio.StreamReader, registry: MessageRegistry) -> Envelope:
+    """Read one frame from *reader*; raises ``IncompleteReadError`` at EOF."""
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame length {length} exceeds limit")
+    body = await reader.readexactly(length)
+    return decode_frame_body(body, registry)
+
+
+class TcpTransport(Transport):
+    """A TCP transport endpoint for one replica.
+
+    Maintains one outbound connection per peer (created lazily and re-created
+    on failure) and accepts inbound connections from peers and clients.
+    Incoming envelopes are handed to the registered handler on the event
+    loop; the handler must be non-blocking (the sans-IO protocols are).
+    """
+
+    def __init__(
+        self,
+        local_id: ReplicaId,
+        listen_address: str,
+        peer_addresses: dict[ReplicaId, str],
+        registry: Optional[MessageRegistry] = None,
+    ) -> None:
+        super().__init__(local_id)
+        self._listen_host, self._listen_port = _split_address(listen_address)
+        self._peer_addresses = dict(peer_addresses)
+        self._registry = registry or global_registry
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: dict[ReplicaId, asyncio.StreamWriter] = {}
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start listening for inbound peer connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._listen_host, self._listen_port
+        )
+        _LOGGER.info("replica %s listening on %s:%s", self.local_id, self._listen_host, self._listen_port)
+
+    async def stop(self) -> None:
+        self._closed = True
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def close(self) -> None:
+        self._closed = True
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, envelope: Envelope) -> None:
+        """Queue an envelope; the actual write happens as an asyncio task."""
+        if envelope.dst == self.local_id:
+            self._dispatch(envelope)
+            return
+        asyncio.get_running_loop().create_task(self._send_async(envelope))
+
+    async def _send_async(self, envelope: Envelope) -> None:
+        if self._closed:
+            return
+        try:
+            writer = await self._writer_for(envelope.dst)
+            writer.write(encode_frame(envelope, self._registry))
+            await writer.drain()
+        except (OSError, TransportError, asyncio.IncompleteReadError) as exc:
+            _LOGGER.warning(
+                "replica %s failed to send to %s: %s", self.local_id, envelope.dst, exc
+            )
+            self._writers.pop(envelope.dst, None)
+
+    async def _writer_for(self, dst: ReplicaId) -> asyncio.StreamWriter:
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        address = self._peer_addresses.get(dst)
+        if address is None:
+            raise TransportError(f"no address configured for replica {dst}")
+        host, port = _split_address(address)
+        _, writer = await asyncio.open_connection(host, port)
+        self._writers[dst] = writer
+        return writer
+
+    # -- receiving -----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while not self._closed:
+                envelope = await read_frame(reader, self._registry)
+                self._dispatch(envelope)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            _LOGGER.debug("replica %s: connection from %s closed", self.local_id, peer)
+        finally:
+            writer.close()
+
+
+def _split_address(address: str) -> tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise TransportError(f"invalid address {address!r}, expected host:port")
+    return host, int(port)
+
+
+__all__ = [
+    "TcpTransport",
+    "encode_frame",
+    "decode_frame_body",
+    "read_frame",
+    "MAX_FRAME_BYTES",
+]

@@ -1,0 +1,204 @@
+"""A compact, self-describing binary codec.
+
+The paper serializes messages with Google Protocol Buffers.  The evaluated
+quantities (message counts and wide-area latencies) do not depend on the wire
+format, so this reproduction ships a small dependency-free codec instead.  It
+supports the primitive types the protocols need plus *registered* dataclass
+types (see :mod:`repro.net.message`), and is used by the asyncio TCP
+transport and the file-backed command log.
+
+Wire grammar (all integers big-endian)::
+
+    value   := NONE | TRUE | FALSE | INT | BIGINT | FLOAT | STR | BYTES
+             | LIST | MAP | OBJ
+    NONE    := 'N'
+    TRUE    := 'T'
+    FALSE   := 'F'
+    INT     := 'I' int64
+    BIGINT  := 'J' u32 length, two's-complement bytes
+    FLOAT   := 'D' float64
+    STR     := 'S' u32 length, utf-8 bytes
+    BYTES   := 'B' u32 length, raw bytes
+    LIST    := 'L' u32 count, value*
+    MAP     := 'M' u32 count, (value value)*
+    OBJ     := 'O' STR(type-name) MAP(field-name -> value)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Optional
+
+from ..errors import CodecError
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+class WireEncoder:
+    """Encodes Python values into the wire format.
+
+    Args:
+        object_hook: Callback invoked for values that are not primitives; it
+            must return a ``(type_name, field_dict)`` pair or raise
+            :class:`~repro.errors.CodecError`.  The message registry supplies
+            this hook for registered dataclasses.
+    """
+
+    def __init__(
+        self, object_hook: Optional[Callable[[Any], tuple[str, dict[str, Any]]]] = None
+    ) -> None:
+        self._object_hook = object_hook
+        self._parts: list[bytes] = []
+
+    def encode(self, value: Any) -> bytes:
+        """Encode *value* and return the wire bytes."""
+        self._parts = []
+        self._write(value)
+        return b"".join(self._parts)
+
+    # -- writers -----------------------------------------------------------
+
+    def _write(self, value: Any) -> None:
+        if value is None:
+            self._parts.append(b"N")
+        elif value is True:
+            self._parts.append(b"T")
+        elif value is False:
+            self._parts.append(b"F")
+        elif isinstance(value, int):
+            self._write_int(value)
+        elif isinstance(value, float):
+            self._parts.append(b"D" + _F64.pack(value))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            self._parts.append(b"S" + _U32.pack(len(raw)) + raw)
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            self._parts.append(b"B" + _U32.pack(len(raw)) + raw)
+        elif isinstance(value, (list, tuple)):
+            self._parts.append(b"L" + _U32.pack(len(value)))
+            for item in value:
+                self._write(item)
+        elif isinstance(value, dict):
+            self._parts.append(b"M" + _U32.pack(len(value)))
+            for key, item in value.items():
+                self._write(key)
+                self._write(item)
+        else:
+            self._write_object(value)
+
+    def _write_int(self, value: int) -> None:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            self._parts.append(b"I" + _I64.pack(value))
+        else:
+            length = (value.bit_length() + 8) // 8
+            raw = value.to_bytes(length, "big", signed=True)
+            self._parts.append(b"J" + _U32.pack(len(raw)) + raw)
+
+    def _write_object(self, value: Any) -> None:
+        if self._object_hook is None:
+            raise CodecError(f"cannot encode value of type {type(value).__name__}")
+        type_name, fields = self._object_hook(value)
+        self._parts.append(b"O")
+        self._write(type_name)
+        self._write(fields)
+
+
+class WireDecoder:
+    """Decodes wire-format bytes back into Python values.
+
+    Args:
+        object_hook: Callback invoked for OBJ values; it receives the type
+            name and field dict and must return the reconstructed object.
+    """
+
+    def __init__(
+        self, object_hook: Optional[Callable[[str, dict[str, Any]], Any]] = None
+    ) -> None:
+        self._object_hook = object_hook
+        self._data = b""
+        self._pos = 0
+
+    def decode(self, data: bytes) -> Any:
+        """Decode a single value from *data*; trailing bytes are an error."""
+        self._data = data
+        self._pos = 0
+        value = self._read()
+        if self._pos != len(self._data):
+            raise CodecError(
+                f"trailing garbage after value: {len(self._data) - self._pos} bytes"
+            )
+        return value
+
+    # -- readers -----------------------------------------------------------
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise CodecError("truncated wire data")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def _read_u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def _read(self) -> Any:
+        tag = self._take(1)
+        if tag == b"N":
+            return None
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"I":
+            return _I64.unpack(self._take(8))[0]
+        if tag == b"J":
+            raw = self._take(self._read_u32())
+            return int.from_bytes(raw, "big", signed=True)
+        if tag == b"D":
+            return _F64.unpack(self._take(8))[0]
+        if tag == b"S":
+            return self._take(self._read_u32()).decode("utf-8")
+        if tag == b"B":
+            return self._take(self._read_u32())
+        if tag == b"L":
+            count = self._read_u32()
+            return [self._read() for _ in range(count)]
+        if tag == b"M":
+            count = self._read_u32()
+            return {self._read(): self._read() for _ in range(count)}
+        if tag == b"O":
+            type_name = self._read()
+            fields = self._read()
+            if not isinstance(type_name, str) or not isinstance(fields, dict):
+                raise CodecError("malformed object encoding")
+            if self._object_hook is None:
+                raise CodecError(f"no object hook to decode type {type_name!r}")
+            return self._object_hook(type_name, fields)
+        raise CodecError(f"unknown wire tag {tag!r}")
+
+
+def encode(value: Any) -> bytes:
+    """Encode a value containing only primitive types."""
+    return WireEncoder().encode(value)
+
+
+def decode(data: bytes) -> Any:
+    """Decode a value containing only primitive types."""
+    return WireDecoder().decode(data)
+
+
+def dataclass_fields(value: Any) -> dict[str, Any]:
+    """Shallow field dict of a dataclass instance (no recursion)."""
+    if not dataclasses.is_dataclass(value) or isinstance(value, type):
+        raise CodecError(f"{value!r} is not a dataclass instance")
+    return {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+
+
+__all__ = ["WireEncoder", "WireDecoder", "encode", "decode", "dataclass_fields"]

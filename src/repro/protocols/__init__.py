@@ -1,0 +1,55 @@
+"""Replication protocols.
+
+All protocols share the sans-IO :class:`~repro.protocols.base.Replica`
+interface: the surrounding driver (simulator or asyncio runtime) feeds in
+client requests, messages, and timer expirations, and executes the actions
+(sends, broadcasts, client replies, timer registrations) each call returns.
+
+Implemented protocols:
+
+* :class:`~repro.core.protocol.ClockRsmReplica` — the paper's contribution
+  (re-exported here for convenience).
+* :class:`~repro.protocols.multipaxos.MultiPaxosReplica` — classic
+  leader-based Multi-Paxos (phase 2 only, stable leader).
+* :class:`~repro.protocols.paxos_bcast.PaxosBcastReplica` — Multi-Paxos with
+  broadcast phase-2b messages (the paper's latency-optimized baseline).
+* :class:`~repro.protocols.mencius.MenciusReplica` — rotating-coordinator
+  Mencius with skip messages.
+* :class:`~repro.protocols.mencius_bcast.MenciusBcastReplica` — Mencius with
+  broadcast acknowledgements (the paper's latency-optimized baseline).
+"""
+
+from .base import (
+    Action,
+    Broadcast,
+    ClientReply,
+    ProtocolName,
+    Replica,
+    ReplicaObserver,
+    Send,
+    SetTimer,
+    Timer,
+)
+from .mencius import MenciusReplica
+from .mencius_bcast import MenciusBcastReplica
+from .multipaxos import MultiPaxosReplica
+from .paxos_bcast import PaxosBcastReplica
+from .registry import PROTOCOLS, create_replica
+
+__all__ = [
+    "Action",
+    "Send",
+    "Broadcast",
+    "ClientReply",
+    "SetTimer",
+    "Timer",
+    "Replica",
+    "ReplicaObserver",
+    "ProtocolName",
+    "MultiPaxosReplica",
+    "PaxosBcastReplica",
+    "MenciusReplica",
+    "MenciusBcastReplica",
+    "PROTOCOLS",
+    "create_replica",
+]

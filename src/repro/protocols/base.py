@@ -1,0 +1,258 @@
+"""Sans-IO replication protocol framework.
+
+A :class:`Replica` is a pure state machine over protocol events: the driver
+feeds it client requests, peer messages, and timer expirations; each call
+returns a list of :class:`Action` values the driver must perform (send a
+message, broadcast one, reply to a client, arm a timer).  Keeping I/O out of
+the protocols makes every step unit-testable, lets the same code run under
+the deterministic discrete-event simulator and the asyncio runtime, and
+mirrors the event-driven architecture the paper's C++ implementation uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Protocol, Union
+
+from ..clocks.base import Clock, MonotonicTimestampSource
+from ..config import ClusterSpec, ProtocolConfig
+from ..errors import ProtocolError
+from ..statemachine import StateMachine
+from ..storage.log import CommandLog
+from ..types import Command, CommandId, Micros, ReplicaId, Timestamp, majority
+
+_LOGGER = logging.getLogger(__name__)
+
+#: Canonical protocol names used by the registry, the bench harness and the
+#: experiment configuration files.
+ProtocolName = str
+
+CLOCK_RSM = "clock-rsm"
+PAXOS = "paxos"
+PAXOS_BCAST = "paxos-bcast"
+MENCIUS = "mencius"
+MENCIUS_BCAST = "mencius-bcast"
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Send *message* to replica *dst*."""
+
+    dst: ReplicaId
+    message: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Broadcast:
+    """Send *message* to every replica in the active configuration.
+
+    ``include_self`` controls whether the sender also receives the message
+    (via zero-delay loopback); Clock-RSM broadcasts PREPARE/PREPAREOK to
+    every replica including itself, so it defaults to ``True``.
+    """
+
+    message: Any
+    include_self: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class ClientReply:
+    """Deliver the result of a committed command back to its client."""
+
+    command_id: CommandId
+    output: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Timer:
+    """A timer handle; returned to the protocol when the timer fires."""
+
+    timer_id: int
+    kind: str
+    payload: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class SetTimer:
+    """Ask the driver to fire *timer* after *delay* microseconds."""
+
+    timer: Timer
+    delay: Micros
+
+
+Action = Union[Send, Broadcast, ClientReply, SetTimer]
+
+
+class ReplicaObserver(Protocol):
+    """Optional hook invoked when a replica executes a committed command."""
+
+    def on_execute(
+        self, replica_id: ReplicaId, command: Command, output: Any
+    ) -> None:  # pragma: no cover - protocol definition
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Replica base class
+# ---------------------------------------------------------------------------
+
+
+class Replica(ABC):
+    """Base class of every replication protocol replica.
+
+    Subclasses implement :meth:`on_client_request`, :meth:`on_message`, and
+    :meth:`on_timer`; the base class provides timestamping, the execution
+    path into the state machine, quorum arithmetic, and timer bookkeeping.
+    """
+
+    #: Protocol name, overridden by each implementation.
+    protocol_name: ProtocolName = "abstract"
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        spec: ClusterSpec,
+        *,
+        clock: Clock,
+        log: CommandLog,
+        state_machine: StateMachine,
+        config: Optional[ProtocolConfig] = None,
+        observer: Optional[ReplicaObserver] = None,
+    ) -> None:
+        if replica_id not in spec.replica_ids:
+            raise ProtocolError(f"replica {replica_id} is not part of the spec {spec.replica_ids}")
+        self.replica_id = replica_id
+        self.spec = spec
+        self.clock = clock
+        self.log = log
+        self.state_machine = state_machine
+        self.config = config or ProtocolConfig()
+        self.observer = observer
+        #: Active configuration; starts as the full spec and is changed only
+        #: by reconfiguration.
+        self.active_config: tuple[ReplicaId, ...] = spec.replica_ids
+        #: Strictly monotonic timestamp source for this replica.
+        self.ts_source = MonotonicTimestampSource(clock, replica_id)
+        #: Commands executed so far, in execution order (used by tests and by
+        #: the consistency checker).
+        self.execution_order: list[CommandId] = []
+        self._timer_ids = itertools.count(1)
+        self._stopped = False
+
+    # -- identity / quorum helpers ------------------------------------------
+
+    @property
+    def quorum_size(self) -> int:
+        """Majority of the *specification*, as the paper requires."""
+        return majority(self.spec.size)
+
+    @property
+    def others(self) -> tuple[ReplicaId, ...]:
+        """Active replicas other than this one."""
+        return tuple(r for r in self.active_config if r != self.replica_id)
+
+    @property
+    def executed_count(self) -> int:
+        return len(self.execution_order)
+
+    def is_active(self, replica_id: ReplicaId) -> bool:
+        return replica_id in self.active_config
+
+    # -- driver-facing API ----------------------------------------------------
+
+    def start(self) -> list[Action]:
+        """Called once before any event is delivered; arms initial timers."""
+        return []
+
+    def stop(self) -> None:
+        """Mark the replica as stopped; subsequent events are ignored."""
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @abstractmethod
+    def on_client_request(self, command: Command) -> list[Action]:
+        """Handle a command submitted by a local client."""
+
+    @abstractmethod
+    def on_message(self, src: ReplicaId, message: Any) -> list[Action]:
+        """Handle a protocol message from replica *src*."""
+
+    @abstractmethod
+    def on_timer(self, timer: Timer) -> list[Action]:
+        """Handle the expiration of a timer previously set via :class:`SetTimer`."""
+
+    # -- helpers for subclasses ----------------------------------------------
+
+    def make_timer(self, kind: str, payload: Any = None) -> Timer:
+        """Create a fresh timer handle with a unique id."""
+        return Timer(next(self._timer_ids), kind, payload)
+
+    def execute(self, command: Command) -> Any:
+        """Apply a committed command to the state machine, in commit order."""
+        output = self.state_machine.apply(command)
+        self.execution_order.append(command.command_id)
+        if self.observer is not None:
+            self.observer.on_execute(self.replica_id, command, output)
+        return output
+
+    def broadcast_targets(self, include_self: bool) -> Iterable[ReplicaId]:
+        if include_self:
+            return self.active_config
+        return self.others
+
+    def describe(self) -> dict[str, Any]:
+        """A small status snapshot used by logging and debugging tools."""
+        return {
+            "protocol": self.protocol_name,
+            "replica_id": self.replica_id,
+            "site": self.spec.replica(self.replica_id).site,
+            "active_config": list(self.active_config),
+            "executed": self.executed_count,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        site = self.spec.replica(self.replica_id).site
+        return f"<{type(self).__name__} r{self.replica_id}@{site}>"
+
+
+def expand_broadcast(replica: Replica, action: Broadcast) -> list[Send]:
+    """Expand a :class:`Broadcast` into per-destination :class:`Send` actions.
+
+    Drivers that have no native broadcast support (the TCP runtime) use this;
+    the simulator keeps broadcasts intact so it can charge a single
+    serialization cost and per-destination network delays.
+    """
+    return [
+        Send(dst, action.message)
+        for dst in replica.broadcast_targets(action.include_self)
+    ]
+
+
+__all__ = [
+    "ProtocolName",
+    "CLOCK_RSM",
+    "PAXOS",
+    "PAXOS_BCAST",
+    "MENCIUS",
+    "MENCIUS_BCAST",
+    "Send",
+    "Broadcast",
+    "ClientReply",
+    "Timer",
+    "SetTimer",
+    "Action",
+    "Replica",
+    "ReplicaObserver",
+    "expand_broadcast",
+]

@@ -1,0 +1,23 @@
+"""Mencius-bcast: Mencius with broadcast acknowledgements.
+
+The paper's latency-optimized Mencius variant: acknowledgements (carrying
+skip promises) are broadcast to every replica, so each replica counts the
+replication quorum and learns skips locally instead of waiting for the slot
+coordinator's commit notification.  Message complexity rises to O(N²), the
+same trade-off Paxos-bcast makes.
+"""
+
+from __future__ import annotations
+
+from .base import MENCIUS_BCAST
+from .mencius import MenciusReplica
+
+
+class MenciusBcastReplica(MenciusReplica):
+    """Mencius with broadcast acknowledgements."""
+
+    protocol_name = MENCIUS_BCAST
+    broadcast_acks = True
+
+
+__all__ = ["MenciusBcastReplica"]

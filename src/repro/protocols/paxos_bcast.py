@@ -1,0 +1,24 @@
+"""Paxos-bcast: Multi-Paxos with broadcast phase-2b messages.
+
+The paper's latency-optimized Paxos variant: acceptors broadcast their
+phase-2b acknowledgements to every replica instead of sending them only to
+the leader, so each replica (in particular the command's originating replica)
+learns the commit without waiting for a separate notification from the
+leader.  This removes one message step for non-leader replicas at the cost of
+O(N²) messages per command.
+"""
+
+from __future__ import annotations
+
+from .base import PAXOS_BCAST
+from .multipaxos import MultiPaxosReplica
+
+
+class PaxosBcastReplica(MultiPaxosReplica):
+    """Multi-Paxos with broadcast phase-2b acknowledgements."""
+
+    protocol_name = PAXOS_BCAST
+    broadcast_phase2b = True
+
+
+__all__ = ["PaxosBcastReplica"]

@@ -1,0 +1,36 @@
+"""Log records shared by the slot-based baseline protocols (Paxos, Mencius)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.message import register_message
+from ..types import Command
+
+
+@register_message
+@dataclass(frozen=True, slots=True)
+class AcceptRecord:
+    """A command accepted into *slot* (Paxos phase-2 accept / Mencius suggest)."""
+
+    slot: int
+    command: Command
+
+
+@register_message
+@dataclass(frozen=True, slots=True)
+class DecideRecord:
+    """Slot *slot* is known decided (commit mark for slot-based protocols)."""
+
+    slot: int
+
+
+@register_message
+@dataclass(frozen=True, slots=True)
+class SkipRecord:
+    """Slot *slot* was skipped (Mencius no-op)."""
+
+    slot: int
+
+
+__all__ = ["AcceptRecord", "DecideRecord", "SkipRecord"]

@@ -1,0 +1,66 @@
+"""Protocol registry: build any implemented protocol by name.
+
+The benchmark harness, the simulator cluster builder, and the asyncio server
+all construct replicas through :func:`create_replica` so that experiment
+configurations can name protocols with plain strings
+(``"clock-rsm"``, ``"paxos"``, ``"paxos-bcast"``, ``"mencius"``,
+``"mencius-bcast"``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from ..config import ClusterSpec
+from ..errors import ConfigurationError
+from ..types import ReplicaId
+from .base import CLOCK_RSM, MENCIUS, MENCIUS_BCAST, PAXOS, PAXOS_BCAST, Replica
+from .mencius import MenciusReplica
+from .mencius_bcast import MenciusBcastReplica
+from .multipaxos import MultiPaxosReplica
+from .paxos_bcast import PaxosBcastReplica
+
+
+def _clock_rsm_class() -> Type[Replica]:
+    # Imported lazily to keep repro.core and repro.protocols decoupled at
+    # import time (repro.core depends on repro.protocols.base).
+    from ..core.protocol import ClockRsmReplica
+
+    return ClockRsmReplica
+
+
+#: Mapping of protocol name to replica class (Clock-RSM resolved lazily).
+PROTOCOLS: dict[str, Any] = {
+    CLOCK_RSM: _clock_rsm_class,
+    PAXOS: MultiPaxosReplica,
+    PAXOS_BCAST: PaxosBcastReplica,
+    MENCIUS: MenciusReplica,
+    MENCIUS_BCAST: MenciusBcastReplica,
+}
+
+
+def protocol_class(name: str) -> Type[Replica]:
+    """Resolve a protocol name to its replica class."""
+    entry = PROTOCOLS.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {sorted(PROTOCOLS)}"
+        )
+    if entry is _clock_rsm_class:
+        return _clock_rsm_class()
+    return entry
+
+
+def create_replica(
+    name: str, replica_id: ReplicaId, spec: ClusterSpec, **kwargs: Any
+) -> Replica:
+    """Instantiate a replica of protocol *name*.
+
+    Keyword arguments are forwarded to the replica constructor (``clock``,
+    ``log``, ``state_machine``, ``config``, ``observer``, ...).
+    """
+    cls = protocol_class(name)
+    return cls(replica_id, spec, **kwargs)
+
+
+__all__ = ["PROTOCOLS", "protocol_class", "create_replica"]

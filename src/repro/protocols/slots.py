@@ -1,0 +1,123 @@
+"""Slot bookkeeping shared by the Paxos and Mencius baselines.
+
+Both baselines agree on a sequence of numbered slots; a command executes when
+its slot is decided and every earlier slot has been executed (or skipped).
+:class:`SlotLedger` tracks per-slot state, acknowledgement quorums, and the
+execution frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..types import Command, ReplicaId
+
+
+@dataclass
+class SlotState:
+    """Mutable state of one slot."""
+
+    slot: int
+    command: Optional[Command] = None
+    acks: set[ReplicaId] = field(default_factory=set)
+    decided: bool = False
+    skipped: bool = False
+    executed: bool = False
+
+    @property
+    def has_command(self) -> bool:
+        return self.command is not None or self.skipped
+
+
+class SlotLedger:
+    """Tracks slot states and yields slots ready for in-order execution."""
+
+    def __init__(self) -> None:
+        self._slots: dict[int, SlotState] = {}
+        #: The next slot index to execute (all smaller slots are executed).
+        self.execute_frontier = 0
+
+    # -- accessors ----------------------------------------------------------
+
+    def get(self, slot: int) -> SlotState:
+        state = self._slots.get(slot)
+        if state is None:
+            state = SlotState(slot)
+            self._slots[slot] = state
+        return state
+
+    def peek(self, slot: int) -> Optional[SlotState]:
+        return self._slots.get(slot)
+
+    def known_slots(self) -> list[int]:
+        return sorted(self._slots)
+
+    def highest_known_slot(self) -> int:
+        return max(self._slots) if self._slots else -1
+
+    # -- state transitions ----------------------------------------------------
+
+    def record_command(self, slot: int, command: Command) -> SlotState:
+        state = self.get(slot)
+        if state.command is None:
+            state.command = command
+        return state
+
+    def add_ack(self, slot: int, replica: ReplicaId) -> int:
+        state = self.get(slot)
+        state.acks.add(replica)
+        return len(state.acks)
+
+    def mark_decided(self, slot: int) -> SlotState:
+        state = self.get(slot)
+        state.decided = True
+        return state
+
+    def mark_skipped(self, slot: int) -> SlotState:
+        state = self.get(slot)
+        state.skipped = True
+        state.decided = True
+        return state
+
+    def is_decided(self, slot: int) -> bool:
+        state = self._slots.get(slot)
+        return state is not None and state.decided
+
+    # -- execution ----------------------------------------------------------------
+
+    def pop_executable(
+        self, implicit_skip: Optional[Callable[[int], bool]] = None
+    ) -> Iterator[SlotState]:
+        """Yield slots ready to execute, advancing the frontier.
+
+        A slot is ready when it is decided (with its command present) or when
+        *implicit_skip* reports that its coordinator can no longer propose in
+        it (Mencius skips learned via ``skip_until`` announcements).
+        """
+        while True:
+            slot = self.execute_frontier
+            state = self._slots.get(slot)
+            if state is not None and state.decided and state.has_command:
+                self.execute_frontier += 1
+                if not state.executed:
+                    state.executed = True
+                    yield state
+                continue
+            if (state is None or not state.decided) and implicit_skip is not None:
+                if implicit_skip(slot):
+                    skipped = self.mark_skipped(slot)
+                    skipped.executed = True
+                    self.execute_frontier += 1
+                    continue
+            break
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "known_slots": len(self._slots),
+            "execute_frontier": self.execute_frontier,
+            "undecided": sum(1 for s in self._slots.values() if not s.decided),
+        }
+
+
+__all__ = ["SlotState", "SlotLedger"]

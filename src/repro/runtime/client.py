@@ -1,0 +1,104 @@
+"""Asyncio key-value client for :class:`~repro.runtime.server.ReplicaServer`.
+
+Connects to a replica's client endpoint over TCP (or uses an in-process
+server directly) and provides ``put`` / ``get`` / ``delete`` coroutines, as
+an application server colocated with the replica would in the paper's
+deployment model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Optional
+
+from ..errors import ClientError
+from ..kvstore.commands import encode_delete, encode_get, encode_put
+from ..net.message import Envelope, MessageRegistry, global_registry
+from ..net.tcp import encode_frame, read_frame
+from ..types import Command, CommandId
+from .messages import ClientRequest, ClientResponse
+from .server import ReplicaServer
+
+
+class ReplicatedKVClient:
+    """A key-value client bound to one replica server."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        server: Optional[ReplicaServer] = None,
+        address: Optional[str] = None,
+        registry: Optional[MessageRegistry] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if server is None and address is None:
+            raise ClientError("either an in-process server or a TCP address is required")
+        self._server = server
+        self._address = address
+        self._registry = registry or global_registry
+        self._name = name or f"kv-async-client-{next(self._ids)}"
+        self._seq = itertools.count(1)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+
+    # -- connection management -----------------------------------------------------
+
+    async def connect(self) -> None:
+        if self._address is None or self._writer is not None:
+            return
+        host, _, port = self._address.rpartition(":")
+        self._reader, self._writer = await asyncio.open_connection(host, int(port))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ReplicatedKVClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc: Any) -> None:
+        await self.close()
+
+    # -- key-value operations ---------------------------------------------------------
+
+    async def put(self, key: str, value: bytes) -> Any:
+        return await self._execute(encode_put(key, value))
+
+    async def get(self, key: str) -> Any:
+        return await self._execute(encode_get(key))
+
+    async def delete(self, key: str) -> bool:
+        return bool(await self._execute(encode_delete(key)))
+
+    # -- internals ----------------------------------------------------------------------
+
+    async def _execute(self, payload: bytes) -> Any:
+        command = Command(CommandId(self._name, next(self._seq)), payload)
+        if self._server is not None:
+            return await self._server.submit(command)
+        return await self._execute_remote(command)
+
+    async def _execute_remote(self, command: Command) -> Any:
+        await self.connect()
+        if self._reader is None or self._writer is None:
+            raise ClientError("client is not connected")
+        async with self._lock:
+            frame = encode_frame(Envelope(-1, -1, ClientRequest(command)), self._registry)
+            self._writer.write(frame)
+            await self._writer.drain()
+            envelope = await read_frame(self._reader, self._registry)
+        response = envelope.message
+        if not isinstance(response, ClientResponse):
+            raise ClientError(f"unexpected response {response!r}")
+        if response.command_id != command.command_id:
+            raise ClientError("response does not match the outstanding request")
+        return response.output
+
+
+__all__ = ["ReplicatedKVClient"]

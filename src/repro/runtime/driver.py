@@ -1,0 +1,112 @@
+"""Asyncio driver for sans-IO replicas.
+
+The driver owns a protocol replica and a transport.  Incoming envelopes and
+client requests are handed to the replica on the event loop; the actions it
+returns are executed immediately: sends go to the transport, timers become
+``loop.call_later`` callbacks, and client replies are delivered to a
+registered callback (the replica server resolves pending futures with them).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable, Optional
+
+from ..net.message import Envelope
+from ..protocols.base import (
+    Action,
+    Broadcast,
+    ClientReply,
+    Replica,
+    Send,
+    SetTimer,
+    Timer,
+)
+from ..types import Command, CommandId, micros_to_seconds
+
+_LOGGER = logging.getLogger(__name__)
+
+ReplyCallback = Callable[[CommandId, Any], None]
+
+
+class AsyncReplicaDriver:
+    """Runs one protocol replica on an asyncio event loop."""
+
+    def __init__(
+        self,
+        replica: Replica,
+        transport,
+        on_reply: Optional[ReplyCallback] = None,
+    ) -> None:
+        self.replica = replica
+        self.transport = transport
+        self.on_reply = on_reply
+        self._timer_handles: list[asyncio.TimerHandle] = []
+        self._started = False
+        transport.set_handler(self._on_envelope)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the replica's start hook (arming its initial timers)."""
+        if self._started:
+            return
+        self._started = True
+        self._perform(self.replica.start())
+
+    def stop(self) -> None:
+        """Cancel outstanding timers and stop the replica."""
+        self.replica.stop()
+        for handle in self._timer_handles:
+            handle.cancel()
+        self._timer_handles.clear()
+        self.transport.close()
+
+    # -- inputs ---------------------------------------------------------------------
+
+    def submit(self, command: Command) -> None:
+        """Submit a client command to the replica."""
+        self._perform(self.replica.on_client_request(command))
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        self._perform(self.replica.on_message(envelope.src, envelope.message))
+
+    def _on_timer(self, timer: Timer) -> None:
+        if self.replica.stopped:
+            return
+        self._perform(self.replica.on_timer(timer))
+
+    # -- action execution --------------------------------------------------------------
+
+    def _perform(self, actions: list[Action]) -> None:
+        for action in actions:
+            if isinstance(action, Send):
+                self.transport.send(
+                    Envelope(self.replica.replica_id, action.dst, action.message)
+                )
+            elif isinstance(action, Broadcast):
+                for dst in self.replica.broadcast_targets(action.include_self):
+                    self.transport.send(
+                        Envelope(self.replica.replica_id, dst, action.message)
+                    )
+            elif isinstance(action, ClientReply):
+                if self.on_reply is not None:
+                    self.on_reply(action.command_id, action.output)
+            elif isinstance(action, SetTimer):
+                self._set_timer(action)
+            else:  # pragma: no cover - defensive
+                _LOGGER.warning("unknown action %r", action)
+
+    def _set_timer(self, action: SetTimer) -> None:
+        loop = asyncio.get_running_loop()
+        handle = loop.call_later(
+            micros_to_seconds(action.delay), self._on_timer, action.timer
+        )
+        self._timer_handles.append(handle)
+        # Garbage-collect completed handles occasionally to bound memory.
+        if len(self._timer_handles) > 1024:
+            self._timer_handles = [h for h in self._timer_handles if not h.cancelled()]
+
+
+__all__ = ["AsyncReplicaDriver"]

@@ -1,0 +1,29 @@
+"""Client-facing request/response messages used by the asyncio runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..net.message import register_message
+from ..types import Command, CommandId
+
+
+@register_message
+@dataclass(frozen=True, slots=True)
+class ClientRequest:
+    """A client command submitted to a replica server."""
+
+    command: Command
+
+
+@register_message
+@dataclass(frozen=True, slots=True)
+class ClientResponse:
+    """The committed result of a previously submitted command."""
+
+    command_id: CommandId
+    output: Any
+
+
+__all__ = ["ClientRequest", "ClientResponse"]

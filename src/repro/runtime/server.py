@@ -1,0 +1,159 @@
+"""A replica server: protocol replica + peer transport + client endpoint.
+
+The server exposes an ``async submit(command)`` API used by in-process
+clients (:class:`~repro.runtime.local.LocalAsyncCluster`) and, when given a
+client listen address, a TCP endpoint speaking length-prefixed
+:class:`~repro.runtime.messages.ClientRequest` / ``ClientResponse`` frames
+for remote clients (:class:`~repro.runtime.client.ReplicatedKVClient`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Optional
+
+from ..clocks.physical import SystemClock
+from ..config import ClusterSpec, ProtocolConfig
+from ..errors import RequestTimeout, TransportError
+from ..net.message import Envelope, MessageRegistry, global_registry
+from ..net.tcp import TcpTransport, encode_frame, read_frame
+from ..protocols.registry import create_replica
+from ..statemachine import StateMachine
+from ..storage.log import CommandLog
+from ..storage.memory_log import InMemoryLog
+from ..types import Command, CommandId, ReplicaId
+from .driver import AsyncReplicaDriver
+from .messages import ClientRequest, ClientResponse
+
+_LOGGER = logging.getLogger(__name__)
+
+
+class ReplicaServer:
+    """One running replica of the replicated service."""
+
+    def __init__(
+        self,
+        protocol: str,
+        replica_id: ReplicaId,
+        spec: ClusterSpec,
+        state_machine: StateMachine,
+        *,
+        transport=None,
+        peer_addresses: Optional[dict[ReplicaId, str]] = None,
+        listen_address: Optional[str] = None,
+        client_address: Optional[str] = None,
+        log: Optional[CommandLog] = None,
+        protocol_config: Optional[ProtocolConfig] = None,
+        registry: Optional[MessageRegistry] = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.spec = spec
+        self.registry = registry or global_registry
+        self.client_address = client_address
+        self._client_server: Optional[asyncio.AbstractServer] = None
+        self._pending: dict[CommandId, asyncio.Future] = {}
+
+        if transport is None:
+            if listen_address is None or peer_addresses is None:
+                raise TransportError(
+                    "either a transport or listen_address + peer_addresses is required"
+                )
+            transport = TcpTransport(replica_id, listen_address, peer_addresses, self.registry)
+        self.transport = transport
+
+        replica = create_replica(
+            protocol,
+            replica_id,
+            spec,
+            clock=SystemClock(),
+            log=log if log is not None else InMemoryLog(),
+            state_machine=state_machine,
+            config=protocol_config or ProtocolConfig(),
+        )
+        self.replica = replica
+        self.driver = AsyncReplicaDriver(replica, transport, on_reply=self._on_reply)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if isinstance(self.transport, TcpTransport):
+            await self.transport.start()
+        if self.client_address is not None:
+            host, _, port = self.client_address.rpartition(":")
+            self._client_server = await asyncio.start_server(
+                self._handle_client, host, int(port)
+            )
+        self.driver.start()
+        _LOGGER.info("replica %s (%s) started", self.replica_id, self.replica.protocol_name)
+
+    async def stop(self) -> None:
+        self.driver.stop()
+        if self._client_server is not None:
+            self._client_server.close()
+            await self._client_server.wait_closed()
+            self._client_server = None
+        if isinstance(self.transport, TcpTransport):
+            await self.transport.stop()
+        for future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Command submission
+    # ------------------------------------------------------------------
+
+    async def submit(self, command: Command, timeout: float = 30.0) -> Any:
+        """Submit a command and wait for its committed result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[command.command_id] = future
+        self.driver.submit(command)
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError as exc:
+            raise RequestTimeout(
+                f"command {command.command_id} did not commit within {timeout} s"
+            ) from exc
+        finally:
+            self._pending.pop(command.command_id, None)
+
+    def _on_reply(self, command_id: CommandId, output: Any) -> None:
+        future = self._pending.get(command_id)
+        if future is not None and not future.done():
+            future.set_result(output)
+
+    # ------------------------------------------------------------------
+    # Client TCP endpoint
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        _LOGGER.debug("client %s connected to replica %s", peer, self.replica_id)
+        try:
+            while True:
+                envelope = await read_frame(reader, self.registry)
+                request = envelope.message
+                if not isinstance(request, ClientRequest):
+                    _LOGGER.warning("replica %s got a non-request frame from %s", self.replica_id, peer)
+                    continue
+                output = await self.submit(request.command)
+                response = ClientResponse(request.command.command_id, output)
+                writer.write(
+                    encode_frame(
+                        Envelope(self.replica_id, -1, response), self.registry
+                    )
+                )
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            _LOGGER.debug("client %s disconnected from replica %s", peer, self.replica_id)
+        finally:
+            writer.close()
+
+
+__all__ = ["ReplicaServer"]

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulator.
+
+The paper evaluates latency on Amazon EC2 and throughput on a local cluster.
+This package substitutes both testbeds with a deterministic discrete-event
+simulation (see DESIGN.md for the substitution argument):
+
+* :mod:`repro.sim.scheduler` / :mod:`repro.sim.environment` — event queue and
+  simulation environment (the time source for simulated clocks).
+* :mod:`repro.sim.network` — wide-area network model parameterised by a
+  one-way latency matrix (the paper's Table III), with optional jitter,
+  partitions and per-channel FIFO delivery.
+* :mod:`repro.sim.node` — a simulated replica host, including the optional
+  CPU/batching cost model used by the throughput experiments.
+* :mod:`repro.sim.cluster` — wires clocks, logs, protocol replicas, network
+  and nodes into a runnable cluster.
+* :mod:`repro.sim.failures` — crash/recovery/partition fault injection.
+"""
+
+from .cluster import ReplyEvent, SimulatedCluster
+from .environment import SimulationEnvironment
+from .network import NetworkOptions, SimulatedNetwork
+from .node import CpuModel, SimulatedNode
+from .scheduler import EventScheduler, ScheduledEvent
+
+__all__ = [
+    "EventScheduler",
+    "ScheduledEvent",
+    "SimulationEnvironment",
+    "SimulatedNetwork",
+    "NetworkOptions",
+    "SimulatedNode",
+    "CpuModel",
+    "SimulatedCluster",
+    "ReplyEvent",
+]

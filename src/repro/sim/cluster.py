@@ -1,0 +1,257 @@
+"""Wiring a full simulated cluster: clocks, logs, replicas, network, nodes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..clocks.base import Clock
+from ..clocks.physical import DriftingClock, PerfectClock, SkewedClock
+from ..config import ClusterSpec, ProtocolConfig
+from ..errors import ConfigurationError
+from ..net.latency import LatencyMatrix
+from ..protocols.base import Replica
+from ..protocols.registry import create_replica
+from ..statemachine import AppendLogStateMachine, StateMachine
+from ..storage.log import CommandLog
+from ..storage.memory_log import InMemoryLog
+from ..types import Command, CommandId, Micros, ReplicaId
+from .environment import SimulationEnvironment
+from .network import NetworkOptions, SimulatedNetwork
+from .node import CpuModel, SimulatedNode
+
+
+@dataclass(frozen=True, slots=True)
+class ReplyEvent:
+    """A committed client command observed at its originating replica."""
+
+    replica_id: ReplicaId
+    command_id: CommandId
+    output: Any
+    time: Micros
+
+
+ReplyCallback = Callable[[ReplyEvent], None]
+
+
+class SimulatedCluster:
+    """A full protocol deployment inside the discrete-event simulator.
+
+    Args:
+        spec: Cluster specification (one replica per site).
+        latency: One-way latency matrix; its sites must match the spec.
+        protocol: Protocol name (see :mod:`repro.protocols.registry`).
+        protocol_config: Protocol tunables (leader, Δ, ...).
+        seed: Seed for all randomness (jitter, workloads built on top).
+        network_options: Jitter / loss configuration.
+        clock_offsets: Optional per-replica clock skew in µs; replicas not
+            listed get a perfect clock.
+        clock_drift_ppm: Optional per-replica drift (µs gained per second).
+        cpu_model: Enables the CPU/batching cost model (throughput runs).
+        state_machine_factory: Builds each replica's state machine
+            (defaults to :class:`~repro.statemachine.AppendLogStateMachine`).
+        log_factory: Builds each replica's stable log (defaults to
+            :class:`~repro.storage.memory_log.InMemoryLog`).
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        latency: LatencyMatrix,
+        protocol: str,
+        protocol_config: Optional[ProtocolConfig] = None,
+        *,
+        seed: int = 0,
+        network_options: NetworkOptions = NetworkOptions(),
+        clock_offsets: Optional[dict[ReplicaId, Micros]] = None,
+        clock_drift_ppm: Optional[dict[ReplicaId, float]] = None,
+        cpu_model: Optional[CpuModel] = None,
+        state_machine_factory: Callable[[ReplicaId], StateMachine] = lambda _rid: AppendLogStateMachine(),
+        log_factory: Callable[[ReplicaId], CommandLog] = lambda _rid: InMemoryLog(),
+    ) -> None:
+        if tuple(latency.sites) != tuple(spec.sites):
+            latency = latency.restricted_to(spec.sites)
+        self.spec = spec
+        self.latency = latency
+        self.protocol = protocol
+        self.protocol_config = protocol_config or ProtocolConfig()
+        self.env = SimulationEnvironment(seed=seed)
+        self.network = SimulatedNetwork(self.env, latency, network_options)
+        self.cpu_model = cpu_model
+        self._clock_offsets = dict(clock_offsets or {})
+        self._clock_drift = dict(clock_drift_ppm or {})
+        self._state_machine_factory = state_machine_factory
+        self._log_factory = log_factory
+        self._reply_callbacks: list[ReplyCallback] = []
+        self.replies: list[ReplyEvent] = []
+        self._command_seq = itertools.count(1)
+
+        self.logs: dict[ReplicaId, CommandLog] = {}
+        self.clocks: dict[ReplicaId, Clock] = {}
+        self.nodes: dict[ReplicaId, SimulatedNode] = {}
+        for replica_spec in spec.replicas:
+            rid = replica_spec.replica_id
+            self.logs[rid] = log_factory(rid)
+            self.clocks[rid] = self._build_clock(rid)
+            replica = self._build_replica(rid)
+            node = SimulatedNode(
+                self.env,
+                self.network,
+                replica,
+                reply_handler=self._on_reply,
+                cpu_model=cpu_model,
+            )
+            self.nodes[rid] = node
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_clock(self, replica_id: ReplicaId) -> Clock:
+        offset = self._clock_offsets.get(replica_id, 0)
+        drift = self._clock_drift.get(replica_id, 0.0)
+        if drift:
+            return DriftingClock(self.env, skew=offset, drift_ppm=drift)
+        if offset:
+            return SkewedClock(self.env, skew=offset)
+        return PerfectClock(self.env)
+
+    def _build_replica(self, replica_id: ReplicaId, recover: bool = False) -> Replica:
+        kwargs: dict[str, Any] = dict(
+            clock=self.clocks[replica_id],
+            log=self.logs[replica_id],
+            state_machine=self._state_machine_factory(replica_id),
+            config=self.protocol_config,
+        )
+        if recover:
+            kwargs["recover"] = True
+        return create_replica(self.protocol, replica_id, self.spec, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> Micros:
+        return self.env.now
+
+    def replica(self, replica_id: ReplicaId) -> Replica:
+        return self.nodes[replica_id].replica
+
+    def replicas(self) -> list[Replica]:
+        return [node.replica for node in self.nodes.values()]
+
+    def replica_by_site(self, site: str) -> Replica:
+        return self.replica(self.spec.by_site(site).replica_id)
+
+    def state_machine(self, replica_id: ReplicaId) -> StateMachine:
+        return self.replica(replica_id).state_machine
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node (arms initial protocol timers)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def run_for(self, duration: Micros) -> None:
+        self.start()
+        self.env.run_for(duration)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.start()
+        self.env.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Client interaction
+    # ------------------------------------------------------------------
+
+    def on_reply(self, callback: ReplyCallback) -> None:
+        """Register a callback invoked for every committed client command."""
+        self._reply_callbacks.append(callback)
+
+    def _on_reply(self, replica_id: ReplicaId, command_id: Any, output: Any, time: Micros) -> None:
+        event = ReplyEvent(replica_id, command_id, output, time)
+        self.replies.append(event)
+        for callback in self._reply_callbacks:
+            callback(event)
+
+    def make_command(self, payload: bytes, client: str = "client") -> Command:
+        """Create a command with a unique id, stamped with the current time."""
+        return Command(
+            CommandId(client, next(self._command_seq)), payload, created_at=self.env.now
+        )
+
+    def submit(self, replica_id: ReplicaId, command: Command) -> Command:
+        """Submit *command* to *replica_id* at the current simulation time."""
+        self.start()
+        if replica_id not in self.nodes:
+            raise ConfigurationError(f"unknown replica {replica_id}")
+        self.nodes[replica_id].submit_client_request(command)
+        return command
+
+    def submit_payload(self, replica_id: ReplicaId, payload: bytes, client: str = "client") -> Command:
+        return self.submit(replica_id, self.make_command(payload, client))
+
+    def submit_at(self, time: Micros, replica_id: ReplicaId, command: Command) -> None:
+        """Schedule a command submission at an absolute simulation time."""
+        self.start()
+        self.env.schedule_at(
+            time, lambda: self.nodes[replica_id].submit_client_request(command)
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def crash(self, replica_id: ReplicaId) -> None:
+        """Crash a replica; its stable log survives, its soft state does not."""
+        self.nodes[replica_id].crash()
+
+    def recover(self, replica_id: ReplicaId) -> Replica:
+        """Recover a crashed replica from its stable log and restart it."""
+        replica = self._build_replica(replica_id, recover=True)
+        node = self.nodes[replica_id]
+        node.set_replica(replica)
+        node.start()
+        return replica
+
+    def partition(self, a: ReplicaId, b: ReplicaId) -> None:
+        self.network.partition(a, b)
+
+    def heal(self, a: ReplicaId, b: ReplicaId) -> None:
+        self.network.heal(a, b)
+
+    def isolate(self, replica_id: ReplicaId) -> None:
+        self.network.isolate(replica_id)
+
+    def heal_all(self) -> None:
+        self.network.heal_all()
+
+    # ------------------------------------------------------------------
+    # Consistency checking
+    # ------------------------------------------------------------------
+
+    def execution_orders(self) -> dict[ReplicaId, list[CommandId]]:
+        """Per-replica execution order (for total-order assertions)."""
+        return {rid: list(node.replica.execution_order) for rid, node in self.nodes.items()}
+
+    def assert_consistent_order(self) -> None:
+        """Raise ``AssertionError`` unless execution orders are prefix-consistent."""
+        orders = list(self.execution_orders().values())
+        reference = max(orders, key=len)
+        for order in orders:
+            if order != reference[: len(order)]:
+                raise AssertionError(
+                    f"divergent execution orders: {order[:20]} vs {reference[:20]}"
+                )
+
+
+__all__ = ["SimulatedCluster", "ReplyEvent", "ReplyCallback"]

@@ -1,0 +1,135 @@
+"""Scripted fault injection for simulated clusters.
+
+Failure scenarios (crash a replica at t=2 s, recover it at t=6 s, partition a
+pair for a while, ...) are expressed declaratively and installed onto a
+:class:`~repro.sim.cluster.SimulatedCluster`, which keeps experiment scripts
+and failure-handling tests readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..types import Micros, ReplicaId
+from .cluster import SimulatedCluster
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """Crash *replica_id* at simulation time *at*."""
+
+    at: Micros
+    replica_id: ReplicaId
+
+
+@dataclass(frozen=True, slots=True)
+class RecoverEvent:
+    """Recover *replica_id* from its log at simulation time *at*.
+
+    If ``rejoin`` is true and the replica runs Clock-RSM, it immediately
+    triggers a reconfiguration to rejoin the active configuration.
+    """
+
+    at: Micros
+    replica_id: ReplicaId
+    rejoin: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionEvent:
+    """Partition replicas *a* and *b* between *at* and *heal_at*."""
+
+    at: Micros
+    a: ReplicaId
+    b: ReplicaId
+    heal_at: Optional[Micros] = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigureEvent:
+    """Have *initiator* trigger a reconfiguration to *new_config* at *at*."""
+
+    at: Micros
+    initiator: ReplicaId
+    new_config: tuple[ReplicaId, ...]
+
+
+FailureEvent = CrashEvent | RecoverEvent | PartitionEvent | ReconfigureEvent
+
+
+class FailureSchedule:
+    """A collection of failure events installable on a cluster."""
+
+    def __init__(self, events: Optional[list[FailureEvent]] = None) -> None:
+        self.events: list[FailureEvent] = list(events or [])
+
+    def crash(self, at: Micros, replica_id: ReplicaId) -> "FailureSchedule":
+        self.events.append(CrashEvent(at, replica_id))
+        return self
+
+    def recover(self, at: Micros, replica_id: ReplicaId, rejoin: bool = False) -> "FailureSchedule":
+        self.events.append(RecoverEvent(at, replica_id, rejoin))
+        return self
+
+    def partition(
+        self, at: Micros, a: ReplicaId, b: ReplicaId, heal_at: Optional[Micros] = None
+    ) -> "FailureSchedule":
+        self.events.append(PartitionEvent(at, a, b, heal_at))
+        return self
+
+    def reconfigure(
+        self, at: Micros, initiator: ReplicaId, new_config: tuple[ReplicaId, ...]
+    ) -> "FailureSchedule":
+        self.events.append(ReconfigureEvent(at, initiator, new_config))
+        return self
+
+    def install(self, cluster: SimulatedCluster) -> None:
+        """Schedule every event on the cluster's simulation environment."""
+        cluster.start()
+        for event in self.events:
+            self._install_one(cluster, event)
+
+    def _install_one(self, cluster: SimulatedCluster, event: FailureEvent) -> None:
+        if isinstance(event, CrashEvent):
+            cluster.env.schedule_at(event.at, lambda e=event: cluster.crash(e.replica_id))
+        elif isinstance(event, RecoverEvent):
+            cluster.env.schedule_at(
+                event.at, lambda e=event: self._recover(cluster, e)
+            )
+        elif isinstance(event, PartitionEvent):
+            cluster.env.schedule_at(event.at, lambda e=event: cluster.partition(e.a, e.b))
+            if event.heal_at is not None:
+                cluster.env.schedule_at(
+                    event.heal_at, lambda e=event: cluster.heal(e.a, e.b)
+                )
+        elif isinstance(event, ReconfigureEvent):
+            cluster.env.schedule_at(
+                event.at, lambda e=event: self._reconfigure(cluster, e)
+            )
+
+    @staticmethod
+    def _recover(cluster: SimulatedCluster, event: RecoverEvent) -> None:
+        replica = cluster.recover(event.replica_id)
+        if event.rejoin and hasattr(replica, "reconfig") and replica.reconfig is not None:
+            actions = replica.reconfig.trigger(tuple(cluster.spec.replica_ids))
+            cluster.nodes[event.replica_id]._perform(actions)
+
+    @staticmethod
+    def _reconfigure(cluster: SimulatedCluster, event: ReconfigureEvent) -> None:
+        replica = cluster.replica(event.initiator)
+        if not hasattr(replica, "reconfig") or replica.reconfig is None:
+            raise ValueError(
+                f"protocol {replica.protocol_name!r} does not support reconfiguration"
+            )
+        actions = replica.reconfig.trigger(event.new_config)
+        cluster.nodes[event.initiator]._perform(actions)
+
+
+__all__ = [
+    "FailureSchedule",
+    "CrashEvent",
+    "RecoverEvent",
+    "PartitionEvent",
+    "ReconfigureEvent",
+]

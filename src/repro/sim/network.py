@@ -1,0 +1,152 @@
+"""Simulated wide-area network.
+
+Delivers envelopes between simulated nodes with per-pair one-way delays taken
+from a :class:`~repro.net.latency.LatencyMatrix` (e.g. the paper's Table III
+EC2 measurements), optional jitter, message loss, and partitions.  Delivery
+per (source, destination) channel is FIFO even under jitter, matching the
+paper's system model and the behaviour of a TCP connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..net.latency import LatencyMatrix
+from ..net.message import Envelope
+from ..types import Micros, ReplicaId
+from .environment import SimulationEnvironment
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkOptions:
+    """Tunables of the simulated network.
+
+    Attributes:
+        jitter_fraction: Uniform jitter as a fraction of the base one-way
+            delay (0.05 adds up to ±5%).  The paper reports average RTTs;
+            a small jitter makes percentile plots meaningful.
+        jitter_floor: Absolute jitter bound (µs) added even on zero-latency
+            (local) links.
+        loss_probability: Probability of silently dropping a message
+            (independently per message); 0 for all paper experiments.
+    """
+
+    jitter_fraction: float = 0.0
+    jitter_floor: Micros = 0
+    loss_probability: float = 0.0
+
+
+class SimulatedNetwork:
+    """Schedules envelope deliveries on the simulation environment."""
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        latency: LatencyMatrix,
+        options: NetworkOptions = NetworkOptions(),
+    ) -> None:
+        self._env = env
+        self._latency = latency
+        self._options = options
+        self._handlers: dict[ReplicaId, Callable[[Envelope, Micros], None]] = {}
+        self._partitions: set[frozenset[ReplicaId]] = set()
+        self._down: set[ReplicaId] = set()
+        #: Last scheduled delivery time per (src, dst), for FIFO enforcement.
+        self._last_delivery: dict[tuple[ReplicaId, ReplicaId], Micros] = {}
+        # Statistics.
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.bytes_sent = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, replica_id: ReplicaId, handler: Callable[[Envelope, Micros], None]) -> None:
+        """Register the delivery handler of a node (called at delivery time)."""
+        self._handlers[replica_id] = handler
+
+    @property
+    def latency(self) -> LatencyMatrix:
+        return self._latency
+
+    # -- fault injection -----------------------------------------------------------
+
+    def partition(self, a: ReplicaId, b: ReplicaId) -> None:
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: ReplicaId, b: ReplicaId) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def isolate(self, replica_id: ReplicaId) -> None:
+        """Partition *replica_id* from every other replica."""
+        for other in self._handlers:
+            if other != replica_id:
+                self.partition(replica_id, other)
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def set_down(self, replica_id: ReplicaId, down: bool) -> None:
+        """Mark a node as crashed: messages to/from it are dropped."""
+        if down:
+            self._down.add(replica_id)
+        else:
+            self._down.discard(replica_id)
+
+    def _blocked(self, src: ReplicaId, dst: ReplicaId) -> bool:
+        if src in self._down or dst in self._down:
+            return True
+        return frozenset((src, dst)) in self._partitions
+
+    # -- sending -------------------------------------------------------------------
+
+    def one_way_delay(self, src: ReplicaId, dst: ReplicaId) -> Micros:
+        """Sample the one-way delay for one message (base + jitter)."""
+        base = self._latency.delay(src, dst)
+        jitter_bound = int(base * self._options.jitter_fraction) + self._options.jitter_floor
+        if jitter_bound <= 0:
+            return base
+        return base + self._env.random.randint(0, jitter_bound)
+
+    def send(self, envelope: Envelope, send_time: Optional[Micros] = None) -> None:
+        """Schedule delivery of *envelope*.
+
+        ``send_time`` defaults to the current simulation time; the node's CPU
+        model passes a later time when serialization kept the CPU busy.
+        """
+        self.sent_count += 1
+        self.bytes_sent += envelope.size_hint
+        src, dst = envelope.src, envelope.dst
+        if self._blocked(src, dst):
+            self.dropped_count += 1
+            return
+        if self._options.loss_probability > 0.0:
+            if self._env.random.random() < self._options.loss_probability:
+                self.dropped_count += 1
+                return
+        departure = self._env.now if send_time is None else max(send_time, self._env.now)
+        delivery = departure + self.one_way_delay(src, dst)
+        # FIFO per channel: never deliver before a previously sent message.
+        key = (src, dst)
+        previous = self._last_delivery.get(key, 0)
+        if delivery < previous:
+            delivery = previous
+        self._last_delivery[key] = delivery
+        self._env.schedule_at(delivery, lambda: self._deliver(envelope, delivery))
+
+    def _deliver(self, envelope: Envelope, delivery_time: Micros) -> None:
+        if self._blocked(envelope.src, envelope.dst):
+            # The destination crashed or was partitioned while the message
+            # was in flight.
+            self.dropped_count += 1
+            return
+        handler = self._handlers.get(envelope.dst)
+        if handler is None:
+            self.dropped_count += 1
+            return
+        self.delivered_count += 1
+        handler(envelope, delivery_time)
+
+
+__all__ = ["SimulatedNetwork", "NetworkOptions"]

@@ -1,0 +1,304 @@
+"""A simulated replica host.
+
+A :class:`SimulatedNode` owns one sans-IO protocol replica and connects it to
+the simulated network and event loop: it performs the replica's actions
+(sends, broadcasts, timers, client replies) and feeds deliveries back in.
+
+Two execution modes:
+
+* **Zero-cost** (default): protocol processing and serialization take no
+  simulated time.  Used by all latency experiments, where wide-area delays
+  dominate (the paper makes the same assumption analytically).
+* **CPU model**: message receive/serialize work occupies a per-node serial
+  CPU with per-message fixed costs and per-byte costs, and messages queued
+  while the CPU is busy are processed in batches (per peer and message type),
+  amortizing the fixed costs — modelling the opportunistic batching the
+  paper's implementation performs.  Used by the throughput experiments
+  (Figure 8), where CPU is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..net.message import Envelope
+from ..protocols.base import (
+    Action,
+    Broadcast,
+    ClientReply,
+    Replica,
+    Send,
+    SetTimer,
+    Timer,
+)
+from ..types import Command, Micros, ReplicaId
+from .environment import SimulationEnvironment
+from .network import SimulatedNetwork
+
+#: Callback signature for committed client commands:
+#: (replica_id, command_id, output, commit_time_micros).
+ReplyHandler = Callable[[ReplicaId, Any, Any, Micros], None]
+
+
+@dataclass(frozen=True, slots=True)
+class CpuModel:
+    """Per-node CPU cost model for the throughput experiments.
+
+    All costs are in microseconds.  ``recv_fixed`` / ``send_fixed`` are paid
+    once per *batch group* (messages of the same type exchanged with the same
+    peer that are handled together), so saturation increases batch sizes and
+    amortizes the fixed costs — the paper's opportunistic batching.
+    ``*_per_byte`` costs are paid for every message individually.
+    """
+
+    recv_fixed: float = 6.0
+    recv_per_byte: float = 0.006
+    send_fixed: float = 6.0
+    send_per_byte: float = 0.006
+    client_fixed: float = 2.0
+
+    def receive_cost(self, groups: int, total_bytes: int) -> Micros:
+        return int(round(groups * self.recv_fixed + total_bytes * self.recv_per_byte))
+
+    def send_cost(self, groups: int, total_bytes: int) -> Micros:
+        return int(round(groups * self.send_fixed + total_bytes * self.send_per_byte))
+
+
+#: Estimated per-physical-message overhead in bytes: Ethernet/IP/TCP headers
+#: plus framing and protocol-buffer envelope fields.  It doubles as the
+#: per-message CPU work that batching cannot remove (parsing, queueing).
+MESSAGE_HEADER_BYTES = 72
+
+
+def default_message_size(message: Any) -> int:
+    """Estimate the serialized size of a protocol message in bytes.
+
+    Counts a fixed header plus the embedded command payload (and key/value
+    bytes dominate real message sizes, as in the paper's Protocol Buffers
+    encoding).  Exact wire sizes are irrelevant; relative sizes drive the
+    throughput model.
+    """
+    size = MESSAGE_HEADER_BYTES
+    command = getattr(message, "command", None)
+    if isinstance(command, Command):
+        size += command.size + 24
+    records = getattr(message, "records", None)
+    if records:
+        for record in records:
+            inner = getattr(record, "command", None)
+            if isinstance(inner, Command):
+                size += inner.size + 24
+    return size
+
+
+class SimulatedNode:
+    """Hosts a protocol replica inside the simulation."""
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        network: SimulatedNetwork,
+        replica: Replica,
+        reply_handler: Optional[ReplyHandler] = None,
+        cpu_model: Optional[CpuModel] = None,
+        message_size: Callable[[Any], int] = default_message_size,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.replica = replica
+        self.replica_id = replica.replica_id
+        self.reply_handler = reply_handler
+        self.cpu_model = cpu_model
+        self.message_size = message_size
+        self.crashed = False
+        # CPU-model state.
+        self._inbox: deque[tuple[str, Any, Micros]] = deque()
+        self._cpu_free_at: Micros = 0
+        self._process_scheduled = False
+        # Statistics.
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.busy_micros: Micros = 0
+        network.attach(self.replica_id, self._on_delivery)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run the replica's start hook (arms its initial timers)."""
+        self._perform(self.replica.start())
+
+    def crash(self) -> None:
+        """Crash the node: it stops processing and loses its soft state."""
+        self.crashed = True
+        self.replica.stop()
+        self.network.set_down(self.replica_id, True)
+        self._inbox.clear()
+
+    def set_replica(self, replica: Replica) -> None:
+        """Install a fresh replica object (recovery re-creates the protocol)."""
+        self.replica = replica
+        self.crashed = False
+        self.network.set_down(self.replica_id, False)
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def submit_client_request(self, command: Command) -> None:
+        """Deliver a client command to the replica at the current time."""
+        if self.crashed:
+            return
+        if self.cpu_model is None:
+            self._perform(self.replica.on_client_request(command))
+        else:
+            self._enqueue("client", command, self.env.now)
+
+    def _on_delivery(self, envelope: Envelope, delivery_time: Micros) -> None:
+        if self.crashed:
+            return
+        self.messages_received += 1
+        if self.cpu_model is None:
+            self._perform(self.replica.on_message(envelope.src, envelope.message))
+        else:
+            self._enqueue("msg", envelope, delivery_time)
+
+    def _fire_timer(self, timer: Timer) -> None:
+        if self.crashed:
+            return
+        if self.cpu_model is None:
+            self._perform(self.replica.on_timer(timer))
+        else:
+            self._enqueue("timer", timer, self.env.now)
+
+    # ------------------------------------------------------------------
+    # Action execution (zero-cost path)
+    # ------------------------------------------------------------------
+
+    def _perform(self, actions: list[Action], send_time: Optional[Micros] = None) -> None:
+        for action in actions:
+            if isinstance(action, Send):
+                self._send(action.dst, action.message, send_time)
+            elif isinstance(action, Broadcast):
+                for dst in self.replica.broadcast_targets(include_self=False):
+                    self._send(dst, action.message, send_time)
+                if action.include_self:
+                    self._deliver_to_self(action.message, send_time)
+            elif isinstance(action, ClientReply):
+                if self.reply_handler is not None:
+                    self.reply_handler(
+                        self.replica_id, action.command_id, action.output, self.env.now
+                    )
+            elif isinstance(action, SetTimer):
+                self.env.schedule(action.delay, lambda t=action.timer: self._fire_timer(t))
+
+    def _send(self, dst: ReplicaId, message: Any, send_time: Optional[Micros]) -> None:
+        self.messages_sent += 1
+        if dst == self.replica_id:
+            self._deliver_to_self(message, send_time)
+            return
+        envelope = Envelope(self.replica_id, dst, message, self.message_size(message))
+        self.network.send(envelope, send_time)
+
+    def _deliver_to_self(self, message: Any, send_time: Optional[Micros]) -> None:
+        """Loopback delivery: immediate in zero-cost mode, queued with CPU."""
+        if self.cpu_model is None:
+            self._perform(self.replica.on_message(self.replica_id, message))
+        else:
+            arrival = send_time if send_time is not None else self.env.now
+            envelope = Envelope(
+                self.replica_id, self.replica_id, message, self.message_size(message)
+            )
+            self._enqueue("msg", envelope, arrival)
+
+    # ------------------------------------------------------------------
+    # CPU-model path
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, kind: str, payload: Any, available_at: Micros) -> None:
+        self._inbox.append((kind, payload, available_at))
+        self._schedule_processing(max(available_at, self._cpu_free_at, self.env.now))
+
+    def _schedule_processing(self, at: Micros) -> None:
+        if self._process_scheduled:
+            return
+        self._process_scheduled = True
+        self.env.schedule_at(max(at, self.env.now), self._process_batch)
+
+    def _process_batch(self) -> None:
+        self._process_scheduled = False
+        if self.crashed or not self._inbox:
+            return
+        assert self.cpu_model is not None
+        start = max(self.env.now, self._cpu_free_at)
+        batch = list(self._inbox)
+        self._inbox.clear()
+
+        # Receive costs: one fixed cost per (peer, message type) group.
+        # Loopback (self-addressed) messages are local function calls in a
+        # real implementation and incur no network-handling CPU cost.
+        recv_groups: set[tuple[Any, type]] = set()
+        recv_bytes = 0
+        client_count = 0
+        for kind, payload, _ in batch:
+            if kind == "msg":
+                if payload.src == self.replica_id:
+                    continue
+                recv_groups.add((payload.src, type(payload.message)))
+                recv_bytes += payload.size_hint
+            elif kind == "client":
+                client_count += 1
+        cost = self.cpu_model.receive_cost(len(recv_groups), recv_bytes)
+        cost += int(round(client_count * self.cpu_model.client_fixed))
+
+        # Run the protocol for every batched item, collecting actions.
+        actions: list[Action] = []
+        for kind, payload, _ in batch:
+            if kind == "msg":
+                actions.extend(self.replica.on_message(payload.src, payload.message))
+            elif kind == "client":
+                actions.extend(self.replica.on_client_request(payload))
+            else:
+                actions.extend(self.replica.on_timer(payload))
+
+        # Send costs: group outgoing messages per (destination, type); sends
+        # to self are loopback calls and cost nothing.
+        send_groups: set[tuple[ReplicaId, type]] = set()
+        send_bytes = 0
+        for action in actions:
+            if isinstance(action, Send):
+                if action.dst == self.replica_id:
+                    continue
+                send_groups.add((action.dst, type(action.message)))
+                send_bytes += self.message_size(action.message)
+            elif isinstance(action, Broadcast):
+                size = self.message_size(action.message)
+                for dst in self.replica.broadcast_targets(action.include_self):
+                    if dst == self.replica_id:
+                        continue
+                    send_groups.add((dst, type(action.message)))
+                    send_bytes += size
+        cost += self.cpu_model.send_cost(len(send_groups), send_bytes)
+
+        self._cpu_free_at = start + cost
+        self.busy_micros += cost
+        # Messages leave the node once the CPU finishes the batch.
+        self._perform(actions, send_time=self._cpu_free_at)
+        if self._inbox:
+            self._schedule_processing(self._cpu_free_at)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def utilization(self, elapsed: Micros) -> float:
+        """Fraction of *elapsed* simulated time the CPU spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_micros / elapsed)
+
+
+__all__ = ["SimulatedNode", "CpuModel", "ReplyHandler", "default_message_size"]

@@ -1,0 +1,70 @@
+"""Event scheduler: a priority queue of timestamped callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from ..types import Micros
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the queue; ordering is (time, sequence number)."""
+
+    time: Micros
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Cancel the event; it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A deterministic event queue.
+
+    Events scheduled for the same time fire in scheduling order (FIFO), which
+    keeps simulations reproducible run-to-run for a fixed seed.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.executed_count = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, time: Micros, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule *callback* to run at absolute simulation time *time*."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        event = ScheduledEvent(time, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def peek_time(self) -> Optional[Micros]:
+        """The timestamp of the next pending event, or ``None`` if empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def run_event(self, event: ScheduledEvent) -> None:
+        self.executed_count += 1
+        event.callback()
+
+
+__all__ = ["EventScheduler", "ScheduledEvent"]

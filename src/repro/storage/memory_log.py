@@ -1,0 +1,53 @@
+"""In-memory command log."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .log import CommandLog, LogRecord
+
+
+class InMemoryLog(CommandLog):
+    """A command log held entirely in memory.
+
+    Survives protocol restarts within a process (the owning object can be
+    handed to a recovering replica), which is how the simulator models a
+    replica that crashes and recovers with its stable storage intact.  The
+    ``fsync_count`` counter lets tests and the throughput model account for
+    how many durability barriers a protocol issued.
+    """
+
+    def __init__(self, records: Sequence[LogRecord] = ()) -> None:
+        self._records: list[LogRecord] = list(records)
+        self._synced_length = len(self._records)
+        self.fsync_count = 0
+
+    def append(self, record: LogRecord) -> int:
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def records(self) -> Iterator[LogRecord]:
+        return iter(list(self._records))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def sync(self) -> None:
+        self._synced_length = len(self._records)
+        self.fsync_count += 1
+
+    def rewrite(self, records: Sequence[LogRecord]) -> None:
+        self._records = list(records)
+        self._synced_length = len(self._records)
+
+    @property
+    def unsynced_count(self) -> int:
+        """Number of records appended since the last :meth:`sync`."""
+        return len(self._records) - self._synced_length
+
+    def snapshot(self) -> list[LogRecord]:
+        """A copy of the current records (handy for assertions in tests)."""
+        return list(self._records)
+
+
+__all__ = ["InMemoryLog"]

@@ -1,0 +1,73 @@
+"""The paper's workload scenarios: balanced, imbalanced, and saturating."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..metrics.collector import LatencyCollector
+from ..sim.cluster import SimulatedCluster
+from ..types import Micros, ReplicaId
+from .generator import ClosedLoopClients, SaturatingClients, WorkloadOptions
+
+
+@dataclass
+class WorkloadHandle:
+    """A started workload plus its latency collector."""
+
+    collector: LatencyCollector
+    generators: list
+
+    def stop(self) -> None:
+        for generator in self.generators:
+            generator.stop()
+
+
+def balanced_workload(
+    cluster: SimulatedCluster,
+    options: WorkloadOptions = WorkloadOptions(),
+    warmup: Micros = 0,
+) -> WorkloadHandle:
+    """Clients of every replica issue requests simultaneously (Figures 1-4)."""
+    collector = LatencyCollector(warmup_until=warmup)
+    generators = []
+    for replica_id in cluster.spec.replica_ids:
+        generator = ClosedLoopClients(cluster, replica_id, options, collector)
+        generator.start()
+        generators.append(generator)
+    return WorkloadHandle(collector, generators)
+
+
+def imbalanced_workload(
+    cluster: SimulatedCluster,
+    origin: ReplicaId,
+    options: WorkloadOptions = WorkloadOptions(),
+    warmup: Micros = 0,
+) -> WorkloadHandle:
+    """Only one replica serves client requests (Figures 5-6)."""
+    collector = LatencyCollector(warmup_until=warmup)
+    generator = ClosedLoopClients(cluster, origin, options, collector)
+    generator.start()
+    return WorkloadHandle(collector, [generator])
+
+
+def saturating_workload(
+    cluster: SimulatedCluster,
+    payload_size: int,
+    window_per_replica: int = 64,
+    replicas: Optional[Sequence[ReplicaId]] = None,
+    warmup: Micros = 0,
+) -> WorkloadHandle:
+    """Saturate every replica with outstanding commands (Figure 8)."""
+    collector = LatencyCollector(warmup_until=warmup)
+    generators = []
+    for replica_id in replicas if replicas is not None else cluster.spec.replica_ids:
+        generator = SaturatingClients(
+            cluster, replica_id, payload_size, window=window_per_replica, collector=collector
+        )
+        generator.start()
+        generators.append(generator)
+    return WorkloadHandle(collector, generators)
+
+
+__all__ = ["WorkloadHandle", "balanced_workload", "imbalanced_workload", "saturating_workload"]

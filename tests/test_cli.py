@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_latency_defaults(self):
+        args = build_parser().parse_args(["latency"])
+        assert args.sites == ["CA", "VA", "IR", "JP", "SG"]
+        assert args.leader is None
+        assert args.handler.__name__ == "cmd_latency"
+
+    def test_throughput_arguments(self):
+        args = build_parser().parse_args(["throughput", "--sizes", "10", "100", "--replicas", "3"])
+        assert args.sizes == [10, 100]
+        assert args.replicas == 3
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "--sites", "CA", "MOON"])
+
+
+class TestCommands:
+    def test_numerical_command_prints_figure7_and_table4(self, capsys):
+        assert main(["numerical"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "Table IV" in output
+        assert "group_size" in output
+
+    def test_analyze_command_prints_model_and_verdict(self, capsys):
+        assert main(["analyze", "--sites", "CA", "VA", "IR", "JP", "SG"]) == 0
+        output = capsys.readouterr().out
+        assert "Expected commit latency" in output
+        assert "better by" in output
+
+    def test_analyze_rejects_foreign_leader(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--sites", "CA", "VA", "IR", "--leader", "SG"])
+
+    def test_analyze_rejects_too_few_sites(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--sites", "CA", "VA"])
+
+    def test_latency_command_small_run(self, capsys):
+        assert main([
+            "latency",
+            "--sites", "CA", "VA", "IR",
+            "--leader", "VA",
+            "--seconds", "1.5",
+            "--clients", "3",
+            "--protocols", "clock-rsm", "paxos-bcast",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "clock-rsm" in output and "paxos-bcast" in output
+        assert "VA" in output
+
+    def test_throughput_command_small_run(self, capsys):
+        assert main([
+            "throughput",
+            "--sizes", "100",
+            "--replicas", "3",
+            "--window", "0.05",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "throughput_kops" in output

@@ -1,0 +1,135 @@
+"""End-to-end simulation tests: every protocol replicates consistently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.client import SimKVClient
+from repro.types import seconds_to_micros
+
+from tests.helpers import make_cluster
+
+
+class TestTotalOrderAndAgreement:
+    def test_concurrent_commands_from_all_replicas_execute_identically(self, any_protocol):
+        cluster = make_cluster(any_protocol, sites=("CA", "VA", "IR"), leader=1, seed=11)
+        cluster.start()
+        # Each replica submits several commands at staggered, overlapping times.
+        for round_index in range(6):
+            for replica_id in cluster.spec.replica_ids:
+                command = cluster.make_command(
+                    f"r{replica_id}-round{round_index}".encode(), client=f"client-{replica_id}"
+                )
+                cluster.submit_at(1_000 * round_index + replica_id * 137, replica_id, command)
+        cluster.run_for(seconds_to_micros(4.0))
+        # Every command committed at its origin...
+        assert len(cluster.replies) == 18
+        # ...every replica executed all of them...
+        for replica in cluster.replicas():
+            assert replica.executed_count == 18
+        # ...in exactly the same order, and with identical state machines.
+        cluster.assert_consistent_order()
+        histories = [tuple(r.state_machine.history) for r in cluster.replicas()]
+        assert len(set(histories)) == 1
+
+    def test_five_replicas_with_ec2_latencies(self, any_protocol):
+        cluster = make_cluster(
+            any_protocol, sites=("CA", "VA", "IR", "JP", "SG"), leader=0, seed=5
+        )
+        cluster.start()
+        for i in range(10):
+            origin = i % 5
+            cluster.submit_at(i * 20_000, origin, cluster.make_command(bytes([i]), client=f"c{origin}"))
+        cluster.run_for(seconds_to_micros(5.0))
+        assert len(cluster.replies) == 10
+        cluster.assert_consistent_order()
+
+    def test_command_outputs_are_returned_to_the_right_client(self, any_protocol):
+        cluster = make_cluster(any_protocol, use_kv=True, leader=0, seed=3)
+        client_ca = SimKVClient(cluster, replica_id=0)
+        client_ir = SimKVClient(cluster, replica_id=2)
+        assert client_ca.put("shared", b"from-ca") is None
+        assert client_ir.put("shared", b"from-ir") == b"from-ca"
+        assert client_ca.get("shared") == b"from-ir"
+        assert client_ir.delete("shared") is True
+        assert client_ca.get("shared") is None
+
+    def test_replies_only_come_from_the_origin_replica(self, any_protocol):
+        cluster = make_cluster(any_protocol, leader=0, seed=7)
+        cluster.start()
+        cluster.submit(1, cluster.make_command(b"hello", client="only-client"))
+        cluster.run_for(seconds_to_micros(2.0))
+        assert len(cluster.replies) == 1
+        assert cluster.replies[0].replica_id == 1
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_results(self):
+        def run(seed):
+            cluster = make_cluster("clock-rsm", sites=("CA", "VA", "IR", "JP", "SG"), seed=seed)
+            cluster.start()
+            for i in range(12):
+                cluster.submit_at(i * 11_000, i % 5, cluster.make_command(bytes([i]), client=f"c{i % 5}"))
+            cluster.run_for(seconds_to_micros(3.0))
+            return [(e.command_id, e.time) for e in cluster.replies]
+
+        assert run(42) == run(42)
+        # A different seed changes jitter-free runs only through workload
+        # randomness; here submissions are fixed, so results still match.
+        assert [c for c, _ in run(42)] == [c for c, _ in run(43)]
+
+
+class TestClockSkew:
+    @pytest.mark.parametrize("skews", [{0: 20_000}, {1: -15_000, 3: 30_000}])
+    def test_clock_rsm_is_correct_under_clock_skew(self, skews):
+        cluster = make_cluster(
+            "clock-rsm",
+            sites=("CA", "VA", "IR", "JP", "SG"),
+            seed=9,
+            clock_offsets=skews,
+        )
+        cluster.start()
+        for i in range(15):
+            cluster.submit_at(
+                i * 9_000, i % 5, cluster.make_command(bytes([i]), client=f"c{i % 5}")
+            )
+        cluster.run_for(seconds_to_micros(5.0))
+        assert len(cluster.replies) == 15
+        cluster.assert_consistent_order()
+
+    def test_skewed_clock_adds_wait_but_not_incorrectness(self):
+        # A replica whose clock runs far ahead forces others to wait before
+        # acknowledging its commands (Algorithm 1 line 8), which adds latency
+        # but must not break the total order.
+        ahead = {0: 200_000}  # 200 ms ahead
+        cluster = make_cluster("clock-rsm", sites=("CA", "VA", "IR"), seed=2, clock_offsets=ahead)
+        cluster.start()
+        cluster.submit_at(1_000, 0, cluster.make_command(b"skewed", client="c0"))
+        cluster.submit_at(2_000, 1, cluster.make_command(b"normal", client="c1"))
+        cluster.run_for(seconds_to_micros(3.0))
+        assert len(cluster.replies) == 2
+        cluster.assert_consistent_order()
+
+
+class TestCrashTolerance:
+    def test_minority_crash_does_not_block_majority_protocols(self, any_protocol):
+        if any_protocol == "clock-rsm":
+            pytest.skip("Clock-RSM needs reconfiguration to make progress; covered separately")
+        if any_protocol in ("mencius", "mencius-bcast"):
+            pytest.skip("Mencius needs its revocation protocol (out of scope) after a crash")
+        # Paxos variants: crash of a non-leader minority replica.
+        cluster = make_cluster(any_protocol, sites=("CA", "VA", "IR"), leader=0, seed=4)
+        cluster.start()
+        cluster.crash(2)
+        cluster.submit_at(10_000, 0, cluster.make_command(b"after-crash", client="c0"))
+        cluster.run_for(seconds_to_micros(2.0))
+        assert len(cluster.replies) == 1
+
+    def test_crashed_replica_does_not_execute(self):
+        cluster = make_cluster("paxos-bcast", leader=0, seed=4)
+        cluster.start()
+        cluster.crash(2)
+        cluster.submit_at(10_000, 0, cluster.make_command(b"x", client="c0"))
+        cluster.run_for(seconds_to_micros(2.0))
+        assert cluster.replica(2).executed_count == 0
+        assert cluster.replica(1).executed_count == 1

@@ -1,0 +1,61 @@
+"""Tests for the timeout-based failure detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.failure.detector import FailureDetector, ReplicaStatus
+
+
+class TestFailureDetector:
+    def test_initially_everyone_is_alive(self):
+        detector = FailureDetector([1, 2, 3], timeout=1_000, now=0)
+        assert detector.suspected() == frozenset()
+        assert detector.alive() == frozenset({1, 2, 3})
+
+    def test_silent_replica_becomes_suspected(self):
+        detector = FailureDetector([1, 2], timeout=1_000, now=0)
+        detector.heard_from(1, 900)
+        changes = detector.check(1_500)
+        assert [c.replica_id for c in changes] == [2]
+        assert changes[0].status is ReplicaStatus.SUSPECTED
+        assert detector.is_suspected(2)
+        assert not detector.is_suspected(1)
+
+    def test_replica_recovers_from_suspicion_when_heard_again(self):
+        detector = FailureDetector([1], timeout=1_000, now=0)
+        detector.check(5_000)
+        assert detector.is_suspected(1)
+        detector.heard_from(1, 5_500)
+        changes = detector.check(5_600)
+        assert changes[0].status is ReplicaStatus.ALIVE
+        assert detector.status(1) is ReplicaStatus.ALIVE
+
+    def test_check_reports_each_transition_once(self):
+        detector = FailureDetector([1], timeout=100, now=0)
+        assert len(detector.check(500)) == 1
+        assert detector.check(600) == []
+
+    def test_heard_from_ignores_stale_times(self):
+        detector = FailureDetector([1], timeout=100, now=0)
+        detector.heard_from(1, 500)
+        detector.heard_from(1, 300)  # out-of-order observation
+        assert detector.check(550) == []
+
+    def test_heard_from_unknown_replica_is_ignored(self):
+        detector = FailureDetector([1], timeout=100, now=0)
+        detector.heard_from(99, 50)
+        assert detector.alive() == frozenset({1})
+
+    def test_monitor_and_forget(self):
+        detector = FailureDetector([1], timeout=100, now=0)
+        detector.monitor(2, now=0)
+        assert detector.alive() == frozenset({1, 2})
+        detector.forget(2)
+        assert detector.alive() == frozenset({1})
+        detector.check(1_000)
+        assert detector.suspected() == frozenset({1})
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FailureDetector([1], timeout=0)

@@ -1,0 +1,73 @@
+"""Tests for scripted fault injection on simulated clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.failures import (
+    CrashEvent,
+    FailureSchedule,
+    PartitionEvent,
+    ReconfigureEvent,
+    RecoverEvent,
+)
+from repro.types import seconds_to_micros
+
+from tests.helpers import make_cluster
+
+
+class TestFailureSchedule:
+    def test_builder_accumulates_events(self):
+        schedule = (
+            FailureSchedule()
+            .crash(1_000, 2)
+            .recover(5_000, 2, rejoin=True)
+            .partition(2_000, 0, 1, heal_at=3_000)
+            .reconfigure(4_000, 0, (0, 1))
+        )
+        kinds = [type(e) for e in schedule.events]
+        assert kinds == [CrashEvent, RecoverEvent, PartitionEvent, ReconfigureEvent]
+
+    def test_scheduled_crash_takes_effect_at_the_right_time(self):
+        cluster = make_cluster("paxos-bcast", leader=0, seed=31)
+        FailureSchedule().crash(100_000, 2).install(cluster)
+        cluster.submit_at(10_000, 0, cluster.make_command(b"before", client="c"))
+        cluster.run_for(90_000)
+        assert not cluster.nodes[2].crashed
+        cluster.run_for(20_000)
+        assert cluster.nodes[2].crashed
+
+    def test_partition_heals_automatically(self):
+        cluster = make_cluster("paxos-bcast", leader=0, seed=32)
+        FailureSchedule().partition(10_000, 0, 1, heal_at=200_000).install(cluster)
+        cluster.run_for(50_000)
+        assert cluster.network._blocked(0, 1)
+        cluster.run_for(200_000)
+        assert not cluster.network._blocked(0, 1)
+
+    def test_crash_then_recover_preserves_the_log(self):
+        cluster = make_cluster("clock-rsm", seed=33)
+        cluster.start()
+        cluster.submit_at(5_000, 0, cluster.make_command(b"durable", client="c0"))
+        cluster.run_for(seconds_to_micros(1.0))
+        executed_before = cluster.replica(1).executed_count
+        assert executed_before == 1
+
+        cluster.crash(1)
+        assert cluster.nodes[1].crashed
+        recovered = cluster.recover(1)
+        assert not cluster.nodes[1].crashed
+        # The recovered replica replayed its log into a fresh state machine.
+        assert recovered.executed_count == executed_before
+        assert recovered.state_machine.history == [b"durable"]
+
+    def test_partitioned_majority_still_commits_for_paxos(self):
+        cluster = make_cluster("paxos-bcast", leader=0, seed=34)
+        cluster.start()
+        cluster.partition(0, 2)
+        cluster.partition(1, 2)  # replica 2 is fully isolated
+        cluster.submit_at(10_000, 0, cluster.make_command(b"majority", client="c"))
+        cluster.run_for(seconds_to_micros(1.0))
+        assert len(cluster.replies) == 1
+        assert cluster.replica(2).executed_count == 0
+        cluster.heal_all()

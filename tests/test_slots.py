@@ -1,0 +1,99 @@
+"""Tests for the slot ledger shared by the Paxos/Mencius baselines."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.slots import SlotLedger
+from repro.types import Command, CommandId
+
+
+def _cmd(i: int) -> Command:
+    return Command(CommandId("c", i), b"")
+
+
+class TestSlotLedger:
+    def test_record_command_and_acks(self):
+        ledger = SlotLedger()
+        state = ledger.record_command(3, _cmd(3))
+        assert state.command == _cmd(3)
+        assert ledger.add_ack(3, 0) == 1
+        assert ledger.add_ack(3, 0) == 1  # duplicates ignored
+        assert ledger.add_ack(3, 1) == 2
+
+    def test_record_command_keeps_first_value(self):
+        ledger = SlotLedger()
+        ledger.record_command(0, _cmd(1))
+        ledger.record_command(0, _cmd(2))
+        assert ledger.peek(0).command == _cmd(1)
+
+    def test_execution_in_slot_order_with_gaps(self):
+        ledger = SlotLedger()
+        for slot in (0, 1, 2):
+            ledger.record_command(slot, _cmd(slot))
+        ledger.mark_decided(1)
+        ledger.mark_decided(2)
+        assert list(ledger.pop_executable()) == []  # slot 0 not decided yet
+        ledger.mark_decided(0)
+        executed = [s.slot for s in ledger.pop_executable()]
+        assert executed == [0, 1, 2]
+        assert ledger.execute_frontier == 3
+
+    def test_skipped_slots_execute_as_noops(self):
+        ledger = SlotLedger()
+        ledger.mark_skipped(0)
+        ledger.record_command(1, _cmd(1))
+        ledger.mark_decided(1)
+        executed = list(ledger.pop_executable())
+        assert [s.slot for s in executed] == [0, 1]
+        assert executed[0].skipped is True
+
+    def test_implicit_skip_callback(self):
+        ledger = SlotLedger()
+        ledger.record_command(2, _cmd(2))
+        ledger.mark_decided(2)
+        executed = [s.slot for s in ledger.pop_executable(lambda slot: slot < 2)]
+        assert executed == [2]
+        assert ledger.execute_frontier == 3
+        # The implicitly skipped slots were materialized as skip entries.
+        assert ledger.peek(0).skipped and ledger.peek(1).skipped
+
+    def test_decided_slot_without_command_blocks_execution(self):
+        ledger = SlotLedger()
+        ledger.mark_decided(0)  # e.g. a Phase2b arrived before the Phase2a
+        assert list(ledger.pop_executable()) == []
+        ledger.record_command(0, _cmd(0))
+        assert [s.slot for s in ledger.pop_executable()] == [0]
+
+    def test_slots_never_execute_twice(self):
+        ledger = SlotLedger()
+        ledger.record_command(0, _cmd(0))
+        ledger.mark_decided(0)
+        assert [s.slot for s in ledger.pop_executable()] == [0]
+        assert list(ledger.pop_executable()) == []
+
+    def test_describe_and_known_slots(self):
+        ledger = SlotLedger()
+        ledger.record_command(4, _cmd(4))
+        ledger.record_command(1, _cmd(1))
+        assert ledger.known_slots() == [1, 4]
+        assert ledger.highest_known_slot() == 4
+        info = ledger.describe()
+        assert info["known_slots"] == 2
+        assert info["undecided"] == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=30, unique=True))
+    def test_execution_order_is_always_contiguous_prefix(self, decided_slots):
+        ledger = SlotLedger()
+        for slot in decided_slots:
+            ledger.record_command(slot, _cmd(slot))
+            ledger.mark_decided(slot)
+        executed = [s.slot for s in ledger.pop_executable()]
+        # Execution covers exactly the contiguous prefix 0..k of decided slots.
+        expected = []
+        i = 0
+        while i in set(decided_slots):
+            expected.append(i)
+            i += 1
+        assert executed == expected

@@ -1,0 +1,115 @@
+"""Tests for the binary wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.net.wire import WireDecoder, WireEncoder, dataclass_fields, decode, encode
+
+
+class TestPrimitiveRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            42,
+            2**62,
+            -(2**62),
+            2**100,        # bigint path
+            -(2**100),
+            3.14159,
+            0.0,
+            "",
+            "hello",
+            "ünïcode ✓",
+            b"",
+            b"raw bytes \x00\xff",
+            [],
+            [1, 2, 3],
+            ["mixed", 1, None, True, b"x"],
+            {},
+            {"a": 1, "b": [1, 2], "c": {"nested": True}},
+            {1: "int keys", "two": 2},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_becomes_list(self):
+        assert decode(encode((1, 2, 3))) == [1, 2, 3]
+
+    def test_nested_structures(self):
+        value = {"rows": [{"id": i, "payload": bytes([i])} for i in range(10)]}
+        assert decode(encode(value)) == value
+
+
+class TestErrors:
+    def test_unregistered_object_raises(self):
+        class Foo:
+            pass
+
+        with pytest.raises(CodecError):
+            encode(Foo())
+
+    def test_trailing_garbage_raises(self):
+        data = encode(42) + b"extra"
+        with pytest.raises(CodecError):
+            decode(data)
+
+    def test_truncated_data_raises(self):
+        data = encode("hello world")
+        with pytest.raises(CodecError):
+            decode(data[:-3])
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            decode(b"Zjunk")
+
+    def test_object_without_hook_raises(self):
+        encoder = WireEncoder(object_hook=lambda v: ("Thing", {"x": 1}))
+        data = encoder.encode(object())
+        with pytest.raises(CodecError):
+            WireDecoder().decode(data)
+
+    def test_dataclass_fields_requires_dataclass(self):
+        with pytest.raises(CodecError):
+            dataclass_fields(42)
+
+
+# A recursive strategy of encodable values (no objects).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestCodecProperties:
+    @given(_values)
+    def test_round_trip_property(self, value):
+        assert decode(encode(value)) == value
+
+    @given(_values, _values)
+    def test_encoding_is_deterministic_and_injective_enough(self, a, b):
+        ea, eb = encode(a), encode(b)
+        assert ea == encode(a)
+        if a == b:
+            assert ea == eb

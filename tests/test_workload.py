@@ -1,0 +1,128 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.commands import decode_op, random_update
+from repro.metrics.collector import LatencyCollector
+from repro.workload.generator import ClosedLoopClients, SaturatingClients, WorkloadOptions
+from repro.workload.scenarios import balanced_workload, imbalanced_workload
+from repro.types import ms_to_micros, seconds_to_micros
+
+from tests.helpers import make_cluster
+
+
+class TestWorkloadOptions:
+    def test_defaults_match_paper(self):
+        options = WorkloadOptions()
+        assert options.clients_per_replica == 40
+        assert options.payload_size == 64
+        assert options.think_time_min == 0
+        assert options.think_time_max == ms_to_micros(80.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients_per_replica": 0},
+            {"payload_size": -1},
+            {"think_time_min": 100, "think_time_max": 50},
+            {"payload_factory": 42},
+        ],
+    )
+    def test_invalid_options_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadOptions(**kwargs)
+
+
+class TestClosedLoopClients:
+    def test_each_client_keeps_one_command_outstanding(self):
+        cluster = make_cluster("clock-rsm", uniform_one_way=10_000, seed=3)
+        collector = LatencyCollector()
+        options = WorkloadOptions(clients_per_replica=5, think_time_min=0, think_time_max=1_000)
+        generator = ClosedLoopClients(cluster, replica_id=0, options=options, collector=collector)
+        generator.start()
+        cluster.run_for(seconds_to_micros(1.0))
+        # Outstanding commands never exceed the number of clients.
+        assert collector.outstanding <= 5
+        assert generator.submitted > 5  # clients cycled several times
+        assert generator.completed >= generator.submitted - 5
+
+    def test_stop_prevents_new_submissions(self):
+        cluster = make_cluster("clock-rsm", uniform_one_way=1_000, seed=3)
+        generator = ClosedLoopClients(
+            cluster, 0, WorkloadOptions(clients_per_replica=3, think_time_max=1_000)
+        )
+        generator.start()
+        cluster.run_for(200_000)
+        generator.stop()
+        submitted = generator.submitted
+        cluster.run_for(500_000)
+        assert generator.submitted == submitted
+
+    def test_payload_factory_generates_kv_updates(self):
+        cluster = make_cluster("clock-rsm", uniform_one_way=1_000, seed=3, use_kv=True)
+        options = WorkloadOptions(
+            clients_per_replica=2,
+            think_time_max=1_000,
+            payload_factory=lambda rng: random_update(rng, key_space=5, value_size=16),
+        )
+        generator = ClosedLoopClients(cluster, 0, options)
+        generator.start()
+        cluster.run_for(100_000)
+        machine = cluster.state_machine(0)
+        assert machine.applied_count > 0
+        assert all(key.startswith("key-") for key in machine.keys())
+
+    def test_latency_measurements_exclude_warmup(self):
+        cluster = make_cluster("clock-rsm", uniform_one_way=5_000, seed=3)
+        collector = LatencyCollector(warmup_until=300_000)
+        generator = ClosedLoopClients(
+            cluster, 0, WorkloadOptions(clients_per_replica=3, think_time_max=10_000), collector
+        )
+        generator.start()
+        cluster.run_for(seconds_to_micros(1.0))
+        assert generator.completed > collector.count()
+
+
+class TestSaturatingClients:
+    def test_window_is_maintained(self):
+        cluster = make_cluster("clock-rsm", uniform_one_way=2_000, seed=5)
+        collector = LatencyCollector()
+        generator = SaturatingClients(cluster, 0, payload_size=32, window=8, collector=collector)
+        generator.start()
+        cluster.run_for(300_000)
+        assert collector.outstanding <= 8
+        assert generator.completed > 8
+
+    def test_multiple_replicas_saturate_independently(self):
+        cluster = make_cluster("paxos-bcast", uniform_one_way=2_000, seed=5)
+        generators = [
+            SaturatingClients(cluster, rid, payload_size=16, window=4)
+            for rid in cluster.spec.replica_ids
+        ]
+        for generator in generators:
+            generator.start()
+        cluster.run_for(300_000)
+        assert all(g.completed > 0 for g in generators)
+        cluster.assert_consistent_order()
+
+
+class TestScenarios:
+    def test_balanced_workload_measures_every_site(self):
+        cluster = make_cluster("clock-rsm", seed=8)
+        handle = balanced_workload(
+            cluster, WorkloadOptions(clients_per_replica=3, think_time_max=20_000)
+        )
+        cluster.run_for(seconds_to_micros(2.0))
+        handle.stop()
+        assert set(handle.collector.summaries()) == set(cluster.spec.replica_ids)
+
+    def test_imbalanced_workload_measures_only_the_origin(self):
+        cluster = make_cluster("clock-rsm", seed=8)
+        handle = imbalanced_workload(
+            cluster, origin=2, options=WorkloadOptions(clients_per_replica=3, think_time_max=20_000)
+        )
+        cluster.run_for(seconds_to_micros(2.0))
+        handle.stop()
+        assert set(handle.collector.summaries()) == {2}
