@@ -4,10 +4,15 @@
 The scenario from the paper's introduction: an online service keeps replicas
 in five data centers (CA, VA, IR, JP, SG) so users everywhere get low-latency
 access, and wants strongly consistent (linearizable) updates.  This example
-deploys the replicated key-value store under Clock-RSM, Paxos, Paxos-bcast
-and Mencius-bcast with the paper's closed-loop client workload, and prints
-the average and 95th-percentile commit latency observed at each site —
-Figure 1 of the paper, regenerated at example scale.
+expresses the deployment as a single declarative
+:class:`~repro.experiment.ExperimentSpec` and runs it once per protocol
+through the experiment API (:func:`~repro.experiment.run_comparison`),
+printing the average and 95th-percentile commit latency observed at each
+site — Figure 1 of the paper, regenerated at example scale.
+
+The same experiment, as a data file, lives in
+``examples/specs/fig1_balanced_5.toml`` and can be replayed with
+``python -m repro.cli run`` on either the simulator or the asyncio backend.
 
 Run with::
 
@@ -18,19 +23,16 @@ from __future__ import annotations
 
 import argparse
 
-from repro.bench.latency_experiments import (
-    FIVE_SITES,
-    LATENCY_PROTOCOLS,
-    figure1_config,
-    run_latency_comparison,
-)
-from repro.bench.reporting import format_latency_table
-from repro.types import seconds_to_micros
+from repro.bench.reporting import format_table
+from repro.experiment import ExperimentSpec, WorkloadSpec, run_comparison
+
+SITES = ("CA", "VA", "IR", "JP", "SG")
+PROTOCOLS = ("paxos", "mencius-bcast", "paxos-bcast", "clock-rsm")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--leader", default="VA", choices=FIVE_SITES,
+    parser.add_argument("--leader", default="VA", choices=SITES,
                         help="leader site for Paxos and Paxos-bcast")
     parser.add_argument("--seconds", type=float, default=6.0,
                         help="simulated seconds of workload per protocol")
@@ -38,27 +40,45 @@ def main() -> None:
                         help="closed-loop clients per data center")
     args = parser.parse_args()
 
-    config = figure1_config(
-        args.leader,
-        duration=seconds_to_micros(args.seconds),
-        warmup=seconds_to_micros(min(1.0, args.seconds / 4)),
-        clients_per_replica=args.clients,
+    warmup = min(1.0, args.seconds / 4)
+    base = ExperimentSpec(
+        name="geo-replicated-store",
+        protocol="paxos",
+        sites=SITES,
+        leader_site=args.leader,
+        workload=WorkloadSpec(scenario="balanced", clients_per_site=args.clients),
+        duration_s=max(args.seconds - warmup, 0.5),
+        warmup_s=warmup,
     )
     print(
-        f"Simulating {len(LATENCY_PROTOCOLS)} protocols across {', '.join(FIVE_SITES)} "
+        f"Simulating {len(PROTOCOLS)} protocols across {', '.join(SITES)} "
         f"({args.clients} clients/site, {args.seconds:.0f} s simulated, leader {args.leader})...\n"
     )
-    results = run_latency_comparison(config)
-    print(format_latency_table(results, FIVE_SITES, "Per-site commit latency (ms)"))
+    results = run_comparison(base, PROTOCOLS)
+
+    rows = []
+    for protocol, result in results.items():
+        for site in SITES:
+            summary = result.sites[site].summary
+            if summary is None:
+                continue
+            rows.append({
+                "protocol": protocol,
+                "site": site,
+                "mean_ms": round(summary.mean_ms, 1),
+                "p95_ms": round(summary.p95_ms, 1),
+                "count": summary.count,
+            })
+    print(format_table(rows, "Per-site commit latency (ms)"))
 
     clock = results["clock-rsm"]
     paxos_bcast = results["paxos-bcast"]
     better = [
-        site for site in FIVE_SITES
+        site for site in SITES
         if clock.mean_ms(site) < paxos_bcast.mean_ms(site)
     ]
     print(
-        f"Clock-RSM beats Paxos-bcast at {len(better)}/{len(FIVE_SITES)} sites "
+        f"Clock-RSM beats Paxos-bcast at {len(better)}/{len(SITES)} sites "
         f"({', '.join(better) or 'none'}); average over all sites: "
         f"{clock.average_over_sites():.1f} ms vs {paxos_bcast.average_over_sites():.1f} ms."
     )

@@ -8,6 +8,11 @@ delivery.  Operations therefore take real wall-clock time comparable to a
 genuine geo-replicated deployment (scale the delays down with ``--scale`` to
 keep the demo snappy).
 
+The deployment is described declaratively: an
+:class:`~repro.experiment.ExperimentSpec` names the protocol and sites, and
+the experiment API's asyncio backend wires the live cluster from it — the
+same spec could equally be run on the simulator.
+
 Run with::
 
     python examples/live_asyncio_cluster.py [--protocol clock-rsm] [--scale 10]
@@ -19,30 +24,23 @@ import argparse
 import asyncio
 import time
 
-from repro import ClusterSpec, ProtocolConfig
-from repro.analysis import ec2_latency_matrix
-from repro.net.latency import LatencyMatrix
+from repro.experiment import ExperimentSpec
+from repro.experiment.async_backend import AsyncBackend
+from repro.protocols.registry import protocol_capabilities
 from repro.runtime.client import ReplicatedKVClient
-from repro.runtime.local import LocalAsyncCluster
 
-SITES = ["CA", "VA", "IR"]
-
-
-def scaled_matrix(scale: int) -> LatencyMatrix:
-    matrix = ec2_latency_matrix(SITES)
-    return LatencyMatrix(
-        matrix.sites, tuple(tuple(d // scale for d in row) for row in matrix.one_way)
-    )
+SITES = ("CA", "VA", "IR")
 
 
 async def run(protocol: str, scale: int) -> None:
-    spec = ClusterSpec.from_sites(SITES)
-    cluster = LocalAsyncCluster(
-        protocol,
-        spec,
-        latency=scaled_matrix(scale),
-        protocol_config=ProtocolConfig(leader=spec.by_site("VA").replica_id),
+    spec = ExperimentSpec(
+        name="live-asyncio-cluster",
+        protocol=protocol,
+        sites=SITES,
+        leader_site="VA" if protocol_capabilities(protocol).leader_based else None,
+        latency="ec2",
     )
+    cluster = AsyncBackend(time_scale=scale).build_cluster(spec)
     print(f"Starting a live {protocol} deployment across {', '.join(SITES)} "
           f"(EC2 delays scaled down {scale}x)...\n")
     async with cluster:

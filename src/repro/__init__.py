@@ -27,6 +27,7 @@ Quickstart::
 from .config import ClusterSpec, ProtocolConfig, ReplicaSpec
 from .core.protocol import ClockRsmReplica
 from .errors import ReproError
+from .experiment import Deployment, ExperimentResult, ExperimentSpec
 from .net.latency import LatencyMatrix
 from .protocols import (
     MenciusBcastReplica,
@@ -58,5 +59,8 @@ __all__ = [
     "MenciusBcastReplica",
     "create_replica",
     "SimulatedCluster",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Deployment",
     "ReproError",
 ]

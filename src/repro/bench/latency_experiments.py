@@ -1,10 +1,18 @@
 """Wide-area latency experiments (Figures 1-6).
 
 Each experiment deploys the replicated key-value store across a set of EC2
-sites inside the simulator (one-way delays from Table III), attaches the
-paper's closed-loop clients, runs for a configurable amount of virtual time,
-and reports per-site average and 95th-percentile commit latency (and full
-CDFs for the distribution figures).
+sites (one-way delays from Table III), attaches the paper's closed-loop
+clients, runs for a configurable amount of virtual time, and reports per-site
+average and 95th-percentile commit latency (and full CDFs for the
+distribution figures).
+
+Since the experiment-API redesign, this harness is a thin adapter over
+:mod:`repro.experiment`: every run converts its
+:class:`LatencyExperimentConfig` into a declarative
+:class:`~repro.experiment.ExperimentSpec` (see :meth:`~LatencyExperimentConfig.to_spec`)
+and executes it through a :class:`~repro.experiment.Deployment` on the
+simulator backend.  The same specs can be saved as TOML/JSON and replayed
+with ``repro run``, on either backend.
 """
 
 from __future__ import annotations
@@ -12,16 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..analysis.ec2 import ec2_latency_matrix
-from ..config import ClusterSpec, ProtocolConfig
-from ..kvstore.commands import random_update
-from ..kvstore.kv import KVStateMachine
+from ..experiment.deployment import Deployment
+from ..experiment.result import ExperimentResult
+from ..experiment.spec import ExperimentSpec, WorkloadSpec
 from ..metrics.stats import LatencySummary
-from ..sim.cluster import SimulatedCluster
-from ..sim.network import NetworkOptions
+from ..protocols.registry import protocol_capabilities
 from ..types import Micros, ms_to_micros, seconds_to_micros
-from ..workload.generator import WorkloadOptions
-from ..workload.scenarios import balanced_workload, imbalanced_workload
 
 #: The protocols compared in every latency figure of the paper.
 LATENCY_PROTOCOLS: tuple[str, ...] = ("paxos", "mencius-bcast", "paxos-bcast", "clock-rsm")
@@ -47,6 +51,45 @@ class LatencyExperimentConfig:
     jitter_fraction: float = 0.02
     seed: int = 42
 
+    def to_spec(
+        self, protocol: str, cdf_sites: Sequence[str] = ()
+    ) -> ExperimentSpec:
+        """The declarative experiment spec equivalent to this configuration.
+
+        ``duration`` is the total run time including the warmup (historical
+        harness semantics); the spec separates measurement duration and
+        warmup explicitly.
+        """
+        if self.balanced:
+            workload = WorkloadSpec(
+                scenario="balanced",
+                clients_per_site=self.clients_per_replica,
+                payload_size=self.payload_size,
+            )
+        else:
+            workload = WorkloadSpec(
+                scenario="imbalanced",
+                clients_per_site=self.clients_per_replica,
+                payload_size=self.payload_size,
+                origin_site=self.origin_site or self.sites[0],
+            )
+        leader_based = protocol_capabilities(protocol).leader_based
+        measured = max(self.duration - self.warmup, 1)
+        return ExperimentSpec(
+            name=f"{protocol}-{'balanced' if self.balanced else 'imbalanced'}",
+            protocol=protocol,
+            sites=self.sites,
+            leader_site=self.leader_site if leader_based else None,
+            latency="ec2",
+            jitter_fraction=self.jitter_fraction,
+            workload=workload,
+            duration_s=measured / 1_000_000,
+            warmup_s=self.warmup / 1_000_000,
+            seed=self.seed,
+            clocktime_interval_ms=self.clocktime_interval / 1_000,
+            cdf_sites=tuple(cdf_sites),
+        )
+
 
 @dataclass
 class LatencyExperimentResult:
@@ -56,6 +99,22 @@ class LatencyExperimentResult:
     config: LatencyExperimentConfig
     summaries: dict[str, LatencySummary]
     cdfs: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    @classmethod
+    def from_experiment(
+        cls, config: LatencyExperimentConfig, result: ExperimentResult
+    ) -> "LatencyExperimentResult":
+        summaries = {
+            site: site_result.summary
+            for site, site_result in result.sites.items()
+            if site_result.summary is not None
+        }
+        cdfs = {
+            site: site_result.cdf_ms
+            for site, site_result in result.sites.items()
+            if site_result.cdf_ms is not None
+        }
+        return cls(result.protocol, config, summaries, cdfs)
 
     def mean_ms(self, site: str) -> float:
         return self.summaries[site].mean_ms
@@ -71,58 +130,13 @@ class LatencyExperimentResult:
         return max(summary.mean_ms for summary in self.summaries.values())
 
 
-def _build_cluster(
-    protocol: str, experiment: LatencyExperimentConfig
-) -> SimulatedCluster:
-    spec = ClusterSpec.from_sites(list(experiment.sites))
-    matrix = ec2_latency_matrix(experiment.sites)
-    protocol_config = ProtocolConfig(
-        leader=spec.by_site(experiment.leader_site).replica_id,
-        clocktime_interval=experiment.clocktime_interval,
-    )
-    return SimulatedCluster(
-        spec,
-        matrix,
-        protocol,
-        protocol_config,
-        seed=experiment.seed,
-        network_options=NetworkOptions(jitter_fraction=experiment.jitter_fraction),
-        state_machine_factory=lambda _rid: KVStateMachine(),
-    )
-
-
 def latency_experiment(
     protocol: str, experiment: LatencyExperimentConfig, collect_cdf_sites: Sequence[str] = ()
 ) -> LatencyExperimentResult:
     """Run one latency experiment and summarize per-site commit latency."""
-    cluster = _build_cluster(protocol, experiment)
-    options = WorkloadOptions(
-        clients_per_replica=experiment.clients_per_replica,
-        payload_size=experiment.payload_size,
-        # The paper's clients update randomly selected keys of the replicated
-        # key-value store with values of the configured size.
-        payload_factory=lambda rng: random_update(rng, value_size=experiment.payload_size),
-    )
-    if experiment.balanced:
-        handle = balanced_workload(cluster, options, warmup=experiment.warmup)
-    else:
-        origin_site = experiment.origin_site or experiment.sites[0]
-        origin = cluster.spec.by_site(origin_site).replica_id
-        handle = imbalanced_workload(cluster, origin, options, warmup=experiment.warmup)
-    cluster.run_for(experiment.duration)
-    handle.stop()
-    cluster.assert_consistent_order()
-
-    summaries: dict[str, LatencySummary] = {}
-    cdfs: dict[str, list[tuple[float, float]]] = {}
-    for replica_spec in cluster.spec.replicas:
-        rid = replica_spec.replica_id
-        if handle.collector.count(rid) == 0:
-            continue
-        summaries[replica_spec.site] = handle.collector.summary(rid)
-        if replica_spec.site in collect_cdf_sites:
-            cdfs[replica_spec.site] = handle.collector.cdf_ms(rid)
-    return LatencyExperimentResult(protocol, experiment, summaries, cdfs)
+    spec = experiment.to_spec(protocol, cdf_sites=collect_cdf_sites)
+    result = Deployment(spec, backend="sim").run()
+    return LatencyExperimentResult.from_experiment(experiment, result)
 
 
 def run_latency_comparison(

@@ -7,6 +7,12 @@ simulator's CPU/batching cost model on a negligible-latency network: every
 replica is saturated by window-based clients, and throughput is the number of
 commands committed at the originating replicas during the measurement window.
 
+Like the latency harness, each run is expressed as a declarative
+:class:`~repro.experiment.ExperimentSpec` (saturating workload, uniform
+local-cluster latency, CPU cost model) executed through
+:class:`~repro.experiment.Deployment` on the simulator backend — see
+:func:`throughput_spec`.
+
 Absolute numbers depend on the CPU cost constants (documented in DESIGN.md /
 EXPERIMENTS.md); the protocol-to-protocol ratios and the crossover between
 small and large commands are the reproduced result.
@@ -15,15 +21,13 @@ small and large commands are the reproduced result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
-from ..config import ClusterSpec, ProtocolConfig
-from ..net.latency import LatencyMatrix
-from ..sim.cluster import SimulatedCluster
+from ..experiment.deployment import Deployment
+from ..experiment.spec import CpuSpec, ExperimentSpec, WorkloadSpec
+from ..protocols.registry import protocol_capabilities
 from ..sim.node import CpuModel
-from ..statemachine import NullStateMachine
 from ..types import Micros, ms_to_micros, seconds_to_micros
-from ..workload.scenarios import saturating_workload
 
 #: Protocols shown in Figure 8.
 THROUGHPUT_PROTOCOLS: tuple[str, ...] = ("clock-rsm", "mencius-bcast", "paxos", "paxos-bcast")
@@ -58,7 +62,7 @@ class ThroughputResult:
     replica_utilization: dict[int, float]
 
 
-def run_throughput_experiment(
+def throughput_spec(
     protocol: str,
     command_size: int,
     *,
@@ -68,37 +72,56 @@ def run_throughput_experiment(
     outstanding_per_replica: int = 128,
     cpu_model: CpuModel = DEFAULT_CPU_MODEL,
     seed: int = 7,
+) -> ExperimentSpec:
+    """The declarative spec of one saturated-throughput run."""
+    sites = tuple(f"dc{i}" for i in range(replica_count))
+    leader_based = protocol_capabilities(protocol).leader_based
+    return ExperimentSpec(
+        name=f"{protocol}-throughput-{command_size}B",
+        protocol=protocol,
+        sites=sites,
+        leader_site=sites[0] if leader_based else None,
+        latency="uniform",
+        one_way_ms=LOCAL_ONE_WAY_DELAY / 1_000,
+        jitter_fraction=0.0,
+        workload=WorkloadSpec(
+            scenario="saturating",
+            payload_size=command_size,
+            outstanding_per_site=outstanding_per_replica,
+            app="null",
+        ),
+        cpu=CpuSpec(
+            recv_fixed=cpu_model.recv_fixed,
+            recv_per_byte=cpu_model.recv_per_byte,
+            send_fixed=cpu_model.send_fixed,
+            send_per_byte=cpu_model.send_per_byte,
+            client_fixed=cpu_model.client_fixed,
+        ),
+        duration_s=window / 1_000_000,
+        warmup_s=warmup / 1_000_000,
+        seed=seed,
+    )
+
+
+def run_throughput_experiment(
+    protocol: str,
+    command_size: int,
+    **kwargs,
 ) -> ThroughputResult:
     """Measure saturated throughput for one protocol and command size."""
-    sites = [f"dc{i}" for i in range(replica_count)]
-    spec = ClusterSpec.from_sites(sites)
-    matrix = LatencyMatrix.uniform(sites, one_way=LOCAL_ONE_WAY_DELAY)
-    cluster = SimulatedCluster(
-        spec,
-        matrix,
-        protocol,
-        ProtocolConfig(leader=0, clocktime_interval=ms_to_micros(5.0)),
-        seed=seed,
-        cpu_model=cpu_model,
-        state_machine_factory=lambda _rid: NullStateMachine(),
-    )
-    handle = saturating_workload(
-        cluster, command_size, window_per_replica=outstanding_per_replica, warmup=warmup
-    )
-    cluster.run_for(warmup + window)
-    handle.stop()
-
-    committed = handle.collector.count()
-    window_seconds = window / 1_000_000
+    spec = throughput_spec(protocol, command_size, **kwargs)
+    result = Deployment(spec, backend="sim").run()
     utilization = {
-        rid: round(node.utilization(warmup + window), 3) for rid, node in cluster.nodes.items()
+        rid: metrics["utilization"]
+        for rid, metrics in result.replica_metrics.items()
+        if "utilization" in metrics
     }
     return ThroughputResult(
         protocol=protocol,
         command_size=command_size,
-        committed=committed,
-        window_seconds=window_seconds,
-        throughput_kops=committed / window_seconds / 1_000.0,
+        committed=result.total_committed,
+        window_seconds=result.duration_s,
+        throughput_kops=result.throughput_kops,
         replica_utilization=utilization,
     )
 
@@ -121,6 +144,7 @@ __all__ = [
     "COMMAND_SIZES",
     "DEFAULT_CPU_MODEL",
     "ThroughputResult",
+    "throughput_spec",
     "run_throughput_experiment",
     "run_throughput_comparison",
 ]

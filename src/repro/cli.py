@@ -2,11 +2,18 @@
 
 Exposes the benchmark harness without pytest::
 
+    python -m repro.cli run examples/specs/fig1_balanced_5.toml
+    python -m repro.cli run examples/specs/fig1_balanced_5.toml --backend async
     python -m repro.cli latency --sites CA VA IR JP SG --leader VA
     python -m repro.cli imbalanced --sites CA VA IR JP SG --leader CA
     python -m repro.cli throughput --sizes 10 100 1000
     python -m repro.cli numerical
     python -m repro.cli analyze --sites CA IR BR
+
+``run`` executes a declarative :class:`~repro.experiment.ExperimentSpec`
+file (TOML or JSON) on either backend; the ``latency`` / ``imbalanced`` /
+``throughput`` subcommands build the same specs internally and run them
+through :class:`~repro.experiment.Deployment`.
 
 Installed as the ``clock-rsm-repro`` console script.
 """
@@ -14,6 +21,7 @@ Installed as the ``clock-rsm-repro`` console script.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -32,6 +40,8 @@ from .bench.reporting import (
     format_throughput,
 )
 from .bench.throughput import run_throughput_comparison
+from .errors import ReproError
+from .experiment import BACKENDS, Deployment, ExperimentSpec
 from .types import seconds_to_micros
 
 
@@ -80,6 +90,29 @@ def _latency_config(args: argparse.Namespace, balanced: bool, origin: Optional[s
 # ---------------------------------------------------------------------------
 # Subcommands
 # ---------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative experiment spec file on the chosen backend."""
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+        options = {"time_scale": args.time_scale} if args.backend == "async" else {}
+        result = Deployment(spec, backend=args.backend, **options).run()
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    title = (
+        f"{result.name}: {result.protocol} on the {result.backend} backend, "
+        f"{result.duration_s:g} s measured"
+    )
+    print(format_table(result.per_site_rows(), title))
+    print(
+        f"total committed: {result.total_committed} "
+        f"({result.throughput_kops:.1f} kop/s)"
+    )
+    return 0
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -161,6 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Clock-RSM (DSN 2014) reproduction: latency/throughput experiments and analysis.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run a declarative experiment spec file (.toml / .json)"
+    )
+    run.add_argument("spec", help="path to an ExperimentSpec file")
+    run.add_argument("--backend", default="sim", choices=sorted(BACKENDS),
+                     help="sim = discrete-event simulator, async = live asyncio runtime")
+    run.add_argument("--time-scale", type=float, default=20.0,
+                     help="async backend: divide delays and durations by this factor")
+    run.add_argument("--json", action="store_true",
+                     help="print the full result as JSON instead of a table")
+    run.set_defaults(handler=cmd_run)
 
     latency = subparsers.add_parser("latency", help="balanced-workload latency comparison")
     _add_site_arguments(latency, ("CA", "VA", "IR", "JP", "SG"))

@@ -94,7 +94,12 @@ class MonotonicTimestampSource:
     def __init__(self, clock: Clock, replica_id: ReplicaId) -> None:
         self._clock = clock
         self._replica_id = replica_id
-        self._last_micros: Micros = -1
+        # Start at 0 (not -1) so that no issued timestamp ever has micros == 0.
+        # ``LatestTV`` entries are initialised to 0 meaning "nothing received
+        # from this replica yet"; a command timestamped 0 would satisfy the
+        # stable-order condition vacuously and could commit ahead of a
+        # smaller-tie-break command still in flight, breaking total order.
+        self._last_micros: Micros = 0
 
     @property
     def replica_id(self) -> ReplicaId:

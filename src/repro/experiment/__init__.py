@@ -1,0 +1,51 @@
+"""Declarative experiments: one spec, any backend.
+
+This package is the single entry point for running Clock-RSM experiments:
+
+* :class:`ExperimentSpec` — a frozen, serializable description of a
+  deployment (protocol, sites + latency, clock models, workload, faults,
+  durations) with ``from_dict``/``to_dict`` and TOML/JSON file loading;
+* :class:`Deployment` — binds a spec to a backend (``sim`` or ``async``)
+  and runs it;
+* :class:`ExperimentResult` — the uniform result shape both backends return.
+
+Example::
+
+    from repro.experiment import Deployment, ExperimentSpec
+
+    spec = ExperimentSpec.from_file("examples/specs/fig1_balanced_5.toml")
+    result = Deployment(spec).run()
+    print(result.mean_ms("CA"))
+"""
+
+from .deployment import BACKENDS, Deployment, run_comparison, run_spec
+from .result import ExperimentResult, SiteResult
+from .spec import (
+    APPS,
+    CLOCK_KINDS,
+    FAULT_KINDS,
+    SCENARIOS,
+    ClockSpec,
+    CpuSpec,
+    ExperimentSpec,
+    FaultSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "APPS",
+    "CLOCK_KINDS",
+    "FAULT_KINDS",
+    "SCENARIOS",
+    "BACKENDS",
+    "ClockSpec",
+    "CpuSpec",
+    "Deployment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FaultSpec",
+    "SiteResult",
+    "WorkloadSpec",
+    "run_comparison",
+    "run_spec",
+]

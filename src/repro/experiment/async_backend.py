@@ -1,0 +1,257 @@
+"""Deploy an experiment spec on the asyncio runtime.
+
+The asyncio backend runs the very same sans-IO protocol objects as live
+services inside one event loop (:class:`~repro.runtime.local.LocalAsyncCluster`),
+with the spec's latency matrix injected into message delivery and real
+asyncio client tasks playing the workload.  Because wide-area delays at real
+scale make wall-clock runs slow, the backend supports a ``time_scale``: all
+delays, think times, clock offsets and durations are divided by it, and the
+recorded latencies are multiplied back, so the same spec produces results in
+the same units as the simulator backend.
+
+Fault schedules and the CPU cost model are simulator-only features; specs
+using them are rejected up front.  A spec's synthetic ``jitter_fraction`` is
+not injected either — the live event loop contributes its own scheduling
+jitter (the result's metadata records ``jitter_applied: False``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from typing import Optional
+
+from ..clocks.base import Clock, TimeSource
+from ..clocks.physical import DriftingClock, SkewedClock, SystemClock
+from ..config import ProtocolConfig
+from ..errors import ConfigurationError, RequestTimeout
+from ..metrics.collector import LatencyCollector
+from ..metrics.stats import LatencySummary
+from ..net.latency import LatencyMatrix
+from ..runtime.local import LocalAsyncCluster
+from ..runtime.server import ReplicaServer
+from ..types import Command, CommandId, ReplicaId, ms_to_micros
+from ..workload.apps import payload_factory, state_machine_factory
+from .result import ExperimentResult, SiteResult
+from .spec import ExperimentSpec
+
+
+class _WallTimeSource(TimeSource):
+    """Adapts the asyncio runtime's system clock to the TimeSource interface."""
+
+    def __init__(self) -> None:
+        self._clock = SystemClock()
+
+    def true_now(self) -> int:
+        return self._clock.now()
+
+
+def _scaled_matrix(matrix: LatencyMatrix, scale: float) -> LatencyMatrix:
+    if scale == 1:
+        return matrix
+    return LatencyMatrix(
+        matrix.sites,
+        tuple(tuple(int(delay / scale) for delay in row) for row in matrix.one_way),
+    )
+
+
+class AsyncBackend:
+    """Runs experiments as live asyncio services in the current process.
+
+    Args:
+        time_scale: Divide every delay and duration by this factor to keep
+            wall-clock runtime manageable; recorded latencies are scaled back
+            so results stay in simulated-time units.
+        submit_timeout: Per-command commit timeout in (unscaled) seconds.
+    """
+
+    name = "async"
+
+    def __init__(self, time_scale: float = 1.0, submit_timeout: float = 30.0) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+        self.time_scale = time_scale
+        self.submit_timeout = submit_timeout
+
+    # ------------------------------------------------------------------
+    # Cluster construction
+    # ------------------------------------------------------------------
+
+    def _clock_factory(self, spec: ExperimentSpec):
+        offsets = spec.clock_offsets()
+        drifts = spec.clock_drift_ppm()
+        if not offsets and not drifts:
+            return None
+        scale = self.time_scale
+
+        def factory(replica_id: ReplicaId) -> Optional[Clock]:
+            offset = int(offsets.get(replica_id, 0) / scale)
+            drift = drifts.get(replica_id, 0.0)
+            if drift:
+                return DriftingClock(_WallTimeSource(), skew=offset, drift_ppm=drift)
+            if offset:
+                return SkewedClock(_WallTimeSource(), skew=offset)
+            return None
+
+        return factory
+
+    def build_cluster(self, spec: ExperimentSpec) -> LocalAsyncCluster:
+        """Wire the asyncio cluster a spec describes (without workload)."""
+        self._check_supported(spec)
+        config = spec.protocol_config()
+        return LocalAsyncCluster(
+            spec.protocol,
+            spec.cluster_spec(),
+            latency=_scaled_matrix(spec.latency_matrix(), self.time_scale),
+            protocol_config=ProtocolConfig(
+                leader=config.leader,
+                clocktime_interval=max(
+                    ms_to_micros(1.0),
+                    int(config.clocktime_interval / self.time_scale),
+                ),
+                wait_for_clock=config.wait_for_clock,
+            ),
+            state_machine_factory=state_machine_factory(spec.workload.app),
+            clock_factory=self._clock_factory(spec),
+        )
+
+    def _check_supported(self, spec: ExperimentSpec) -> None:
+        if spec.faults:
+            raise ConfigurationError(
+                "the async backend does not support fault schedules; "
+                "run this spec on the sim backend"
+            )
+        if spec.cpu is not None:
+            raise ConfigurationError(
+                "the async backend has no CPU cost model (the real event loop "
+                "is the CPU); remove the [cpu] section or use the sim backend"
+            )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        return asyncio.run(self._run(spec))
+
+    async def _run(self, spec: ExperimentSpec) -> ExperimentResult:
+        cluster = self.build_cluster(spec)  # validates backend support
+        workload = spec.workload
+        cluster_spec = spec.cluster_spec()
+        collector = LatencyCollector(warmup_until=spec.warmup_micros)
+        loop = asyncio.get_running_loop()
+        start_wall = loop.time()
+
+        def virtual_micros() -> int:
+            # Wall seconds since start, scaled back to spec-time microseconds.
+            return int((loop.time() - start_wall) * self.time_scale * 1_000_000)
+
+        uid = itertools.count(1)
+        app_payloads = payload_factory(workload.app, workload.payload_size)
+
+        def make_payload(rng: random.Random) -> bytes:
+            if app_payloads is not None:
+                return app_payloads(rng)
+            return bytes(workload.payload_size)
+
+        stop = asyncio.Event()
+
+        async def closed_loop_client(
+            server: ReplicaServer, rid: ReplicaId, site: str, index: int, think: bool
+        ) -> None:
+            # Deterministic per-client stream (independent of PYTHONHASHSEED).
+            rng = random.Random(spec.seed * 1_000_003 + rid * 1_009 + index)
+            think_min = workload.think_time_min_ms / 1_000.0 / self.time_scale
+            think_max = workload.think_time_max_ms / 1_000.0 / self.time_scale
+            name = f"{site}/async{index}"
+            # Loop on the stop event rather than relying on cancellation:
+            # Python 3.11's wait_for can swallow a cancellation that races
+            # with the commit future resolving, which would leave this loop
+            # running (and the run hanging) forever.
+            while not stop.is_set():
+                if think and think_max > 0:
+                    await asyncio.sleep(rng.uniform(think_min, think_max))
+                command = Command(CommandId(name, next(uid)), make_payload(rng))
+                collector.record_submit(command.command_id, rid, virtual_micros())
+                try:
+                    await server.submit(command, timeout=self.submit_timeout)
+                except RequestTimeout:
+                    continue
+                committed_at = virtual_micros()
+                # Commands draining after the measurement window ended would
+                # never have committed on the sim backend (it hard-stops at
+                # total_runtime_micros); keep the two backends comparable.
+                if committed_at <= spec.total_runtime_micros:
+                    collector.record_commit(command.command_id, committed_at)
+
+        tasks: list[asyncio.Task] = []
+        async with cluster:
+            for replica_spec in cluster_spec.replicas:
+                rid = replica_spec.replica_id
+                site = replica_spec.site
+                if workload.scenario == "imbalanced" and site != workload.origin_site:
+                    continue
+                server = cluster.servers[rid]
+                if workload.scenario == "saturating":
+                    count, think = workload.outstanding_per_site, False
+                else:
+                    count, think = workload.clients_per_site, True
+                for index in range(count):
+                    tasks.append(
+                        asyncio.create_task(
+                            closed_loop_client(server, rid, site, index, think)
+                        )
+                    )
+            await asyncio.sleep((spec.warmup_s + spec.duration_s) / self.time_scale)
+            stop.set()
+            # Let in-flight submissions drain, then cancel stragglers.
+            _done, pending = await asyncio.wait(tasks, timeout=self.submit_timeout)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+            sites: dict[str, SiteResult] = {}
+            replica_metrics: dict[ReplicaId, dict[str, float]] = {}
+            for replica_spec in cluster_spec.replicas:
+                rid = replica_spec.replica_id
+                committed = collector.count(rid)
+                summary: LatencySummary | None = None
+                cdf = None
+                if committed:
+                    summary = collector.summary(rid)
+                    if replica_spec.site in spec.cdf_sites:
+                        cdf = collector.cdf_ms(rid)
+                sites[replica_spec.site] = SiteResult(
+                    site=replica_spec.site,
+                    replica_id=rid,
+                    committed=committed,
+                    summary=summary,
+                    cdf_ms=cdf,
+                )
+                replica_metrics[rid] = {
+                    "executed": float(cluster.servers[rid].replica.executed_count),
+                }
+
+        total = collector.count()
+        return ExperimentResult(
+            name=spec.name,
+            protocol=spec.protocol,
+            backend=self.name,
+            duration_s=spec.duration_s,
+            sites=sites,
+            total_committed=total,
+            throughput_kops=total / spec.duration_s / 1_000.0,
+            replica_metrics=replica_metrics,
+            metadata={
+                "seed": spec.seed,
+                "time_scale": self.time_scale,
+                "wall_clock_s": round(loop.time() - start_wall, 3),
+                # The spec's synthetic jitter is not injected here: the live
+                # event loop contributes its own natural scheduling jitter.
+                "jitter_applied": False,
+            },
+        )
+
+
+__all__ = ["AsyncBackend"]

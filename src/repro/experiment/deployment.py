@@ -1,0 +1,77 @@
+"""Backend-agnostic deployment runner for experiment specs.
+
+:class:`Deployment` is the single entry point that turns a declarative
+:class:`~repro.experiment.spec.ExperimentSpec` into an
+:class:`~repro.experiment.result.ExperimentResult`::
+
+    spec = ExperimentSpec.from_file("examples/specs/fig1_balanced_5.toml")
+    result = Deployment(spec).run()                      # simulator
+    result = Deployment(spec, backend="async", time_scale=20).run()  # asyncio
+
+Backends are looked up by name in :data:`BACKENDS`; both ship with the
+library (``sim`` — the deterministic discrete-event simulator, ``async`` —
+live asyncio services in this process) and both return the same result
+shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigurationError
+from .async_backend import AsyncBackend
+from .result import ExperimentResult
+from .sim_backend import SimBackend
+from .spec import ExperimentSpec
+
+#: Backend name -> factory; factories accept backend-specific options.
+BACKENDS: dict[str, Callable[..., Any]] = {
+    SimBackend.name: SimBackend,
+    AsyncBackend.name: AsyncBackend,
+}
+
+
+class Deployment:
+    """One experiment spec bound to a backend, ready to run."""
+
+    def __init__(self, spec: ExperimentSpec, backend: str = "sim", **options: Any) -> None:
+        factory = BACKENDS.get(backend)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+            )
+        self.spec = spec
+        self.backend_name = backend
+        try:
+            self.backend = factory(**options)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid options for the {backend!r} backend: {exc}"
+            ) from exc
+
+    def run(self) -> ExperimentResult:
+        """Deploy, run the workload (and faults), and summarize the run."""
+        return self.backend.run(self.spec)
+
+
+def run_spec(
+    spec: ExperimentSpec, backend: str = "sim", **options: Any
+) -> ExperimentResult:
+    """Convenience: ``Deployment(spec, backend, **options).run()``."""
+    return Deployment(spec, backend, **options).run()
+
+
+def run_comparison(
+    spec: ExperimentSpec,
+    protocols: Sequence[str],
+    backend: str = "sim",
+    **options: Any,
+) -> dict[str, ExperimentResult]:
+    """Run the same experiment once per protocol (the paper's figures)."""
+    return {
+        protocol: run_spec(spec.with_protocol(protocol), backend, **options)
+        for protocol in protocols
+    }
+
+
+__all__ = ["BACKENDS", "Deployment", "run_spec", "run_comparison"]

@@ -1,0 +1,115 @@
+"""The uniform result of one experiment run, backend-agnostic.
+
+Both the simulator backend and the asyncio backend reduce their runs to an
+:class:`ExperimentResult`: per-site commit-latency summaries (and optional
+CDFs), committed-command counts, aggregate throughput, and per-replica
+metrics.  Consumers — the CLI, the bench harness, tests — never need to know
+which backend produced a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..metrics.stats import LatencySummary
+from ..types import ReplicaId
+
+
+@dataclass
+class SiteResult:
+    """Measurements taken at one site (its originating replica)."""
+
+    site: str
+    replica_id: ReplicaId
+    committed: int
+    summary: Optional[LatencySummary] = None
+    cdf_ms: Optional[list[tuple[float, float]]] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "site": self.site,
+            "replica_id": self.replica_id,
+            "committed": self.committed,
+        }
+        if self.summary is not None:
+            data["latency"] = self.summary.as_row()
+        if self.cdf_ms is not None:
+            data["cdf_ms"] = self.cdf_ms
+        return data
+
+
+@dataclass
+class ExperimentResult:
+    """What one deployment run measured, in the same shape for all backends."""
+
+    name: str
+    protocol: str
+    backend: str
+    duration_s: float
+    sites: dict[str, SiteResult]
+    total_committed: int
+    throughput_kops: float
+    replica_metrics: dict[ReplicaId, dict[str, float]] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- latency accessors (mirroring the bench harness result API) --------
+
+    def summary(self, site: str) -> LatencySummary:
+        result = self.sites[site].summary
+        if result is None:
+            raise KeyError(f"no latency samples recorded at {site!r}")
+        return result
+
+    def mean_ms(self, site: str) -> float:
+        return self.summary(site).mean_ms
+
+    def p95_ms(self, site: str) -> float:
+        return self.summary(site).p95_ms
+
+    def measured_sites(self) -> list[str]:
+        """Sites with at least one latency sample."""
+        return [site for site, r in self.sites.items() if r.summary is not None]
+
+    def average_over_sites(self) -> float:
+        values = [r.summary.mean_ms for r in self.sites.values() if r.summary is not None]
+        if not values:
+            raise ValueError(f"experiment {self.name!r} recorded no latency samples")
+        return sum(values) / len(values)
+
+    def highest_over_sites(self) -> float:
+        values = [r.summary.mean_ms for r in self.sites.values() if r.summary is not None]
+        if not values:
+            raise ValueError(f"experiment {self.name!r} recorded no latency samples")
+        return max(values)
+
+    # -- reporting ---------------------------------------------------------
+
+    def per_site_rows(self) -> list[dict[str, Any]]:
+        """Rows for :func:`repro.bench.reporting.format_table`."""
+        rows = []
+        for site, result in self.sites.items():
+            row: dict[str, Any] = {"site": site, "committed": result.committed}
+            if result.summary is not None:
+                row["mean_ms"] = round(result.summary.mean_ms, 1)
+                row["p95_ms"] = round(result.summary.p95_ms, 1)
+            rows.append(row)
+        return rows
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "protocol": self.protocol,
+            "backend": self.backend,
+            "duration_s": self.duration_s,
+            "total_committed": self.total_committed,
+            "throughput_kops": round(self.throughput_kops, 3),
+            "sites": {site: result.to_dict() for site, result in self.sites.items()},
+            "replica_metrics": {
+                str(rid): metrics for rid, metrics in self.replica_metrics.items()
+            },
+            "metadata": self.metadata,
+        }
+
+
+__all__ = ["SiteResult", "ExperimentResult"]

@@ -1,0 +1,481 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single, serializable description of one
+deployment of the replicated state machine: which protocol, which sites (and
+the latency matrix between them), each site's clock model, the client
+workload, an optional fault schedule, and the run durations.  The same spec
+runs unchanged on the discrete-event simulator and on the asyncio runtime
+(see :mod:`repro.experiment.deployment`), and round-trips through plain
+dictionaries, JSON, and TOML files — every new scenario is a data file, not a
+new code path.
+
+Validation happens eagerly at construction time, using the protocol
+capability metadata from :mod:`repro.protocols.registry`: a leaderless
+protocol with a ``leader_site``, an imbalanced workload without an
+``origin_site``, or a fault schedule naming an unknown site are all rejected
+before anything is deployed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
+
+from ..analysis.ec2 import EC2_SITES, ec2_latency_matrix
+from ..config import ClusterSpec, ProtocolConfig
+from ..errors import ConfigurationError
+from ..net.latency import LatencyMatrix
+from ..protocols.registry import protocol_capabilities
+from ..types import Micros, ReplicaId, ms_to_micros
+
+#: Workload scenarios understood by the backends (see
+#: :mod:`repro.workload.scenarios`).
+SCENARIOS: tuple[str, ...] = ("balanced", "imbalanced", "saturating")
+
+#: State-machine applications selectable per spec.
+APPS: tuple[str, ...] = ("kv", "append-log", "null")
+
+#: Clock model kinds selectable per site.
+CLOCK_KINDS: tuple[str, ...] = ("perfect", "skewed", "drifting")
+
+#: Fault event kinds understood by the sim backend.
+FAULT_KINDS: tuple[str, ...] = ("crash", "recover", "partition", "isolate")
+
+
+@dataclass(frozen=True, slots=True)
+class ClockSpec:
+    """Clock model of one site (perfect unless configured otherwise)."""
+
+    kind: str = "perfect"
+    offset_ms: float = 0.0
+    drift_ppm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLOCK_KINDS:
+            raise ConfigurationError(
+                f"unknown clock kind {self.kind!r}; one of {CLOCK_KINDS}"
+            )
+        if self.kind == "perfect" and (self.offset_ms or self.drift_ppm):
+            raise ConfigurationError(
+                "a perfect clock cannot have an offset or drift; "
+                "use kind='skewed' or kind='drifting'"
+            )
+        if self.kind == "skewed" and self.drift_ppm:
+            raise ConfigurationError("a skewed clock has no drift; use kind='drifting'")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """The client workload attached to the deployment.
+
+    ``scenario`` selects the paper's client models: ``balanced`` (closed-loop
+    clients at every site, Figures 1-4), ``imbalanced`` (clients only at
+    ``origin_site``, Figures 5-6), or ``saturating`` (window-based clients
+    keeping every site saturated, Figure 8).  ``app`` selects the replicated
+    application: the key-value store (``kv``, clients issue random updates),
+    an append-only log over opaque payloads (``append-log``), or a no-op
+    state machine (``null``, for pure protocol-throughput runs).
+    """
+
+    scenario: str = "balanced"
+    clients_per_site: int = 12
+    payload_size: int = 64
+    think_time_min_ms: float = 0.0
+    think_time_max_ms: float = 80.0
+    origin_site: Optional[str] = None
+    outstanding_per_site: int = 64
+    app: str = "kv"
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown workload scenario {self.scenario!r}; one of {SCENARIOS}"
+            )
+        if self.app not in APPS:
+            raise ConfigurationError(f"unknown app {self.app!r}; one of {APPS}")
+        if self.clients_per_site <= 0:
+            raise ConfigurationError("clients_per_site must be positive")
+        if self.outstanding_per_site <= 0:
+            raise ConfigurationError("outstanding_per_site must be positive")
+        if self.payload_size < 0:
+            raise ConfigurationError("payload_size must be non-negative")
+        if self.think_time_max_ms < self.think_time_min_ms:
+            raise ConfigurationError("think_time_max_ms must be >= think_time_min_ms")
+        if self.scenario == "imbalanced" and self.origin_site is None:
+            raise ConfigurationError("an imbalanced workload needs an origin_site")
+        if self.scenario != "imbalanced" and self.origin_site is not None:
+            raise ConfigurationError(
+                f"origin_site only applies to the imbalanced scenario, "
+                f"not {self.scenario!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scripted fault event (sim backend only)."""
+
+    kind: str
+    at_s: float
+    site: str
+    peer: Optional[str] = None
+    heal_at_s: Optional[float] = None
+    rejoin: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError("fault at_s must be non-negative")
+        if self.kind == "partition" and self.peer is None:
+            raise ConfigurationError("a partition fault needs a peer site")
+        if self.kind != "partition" and self.peer is not None:
+            raise ConfigurationError(f"peer only applies to partitions, not {self.kind!r}")
+        if self.heal_at_s is not None and self.kind not in ("partition", "isolate"):
+            raise ConfigurationError("heal_at_s only applies to partition/isolate faults")
+        if self.heal_at_s is not None and self.heal_at_s <= self.at_s:
+            raise ConfigurationError("heal_at_s must be after at_s")
+        if self.rejoin and self.kind != "recover":
+            raise ConfigurationError("rejoin only applies to recover faults")
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSpec:
+    """Optional CPU/batching cost model (throughput experiments)."""
+
+    recv_fixed: float = 6.0
+    recv_per_byte: float = 0.006
+    send_fixed: float = 6.0
+    send_per_byte: float = 0.006
+    client_fixed: float = 2.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, declarative description of one experiment run.
+
+    The total simulated (or scaled wall-clock) run time is ``warmup_s +
+    duration_s``; measurements taken during the warmup are discarded.
+    """
+
+    name: str
+    protocol: str
+    sites: tuple[str, ...]
+    leader_site: Optional[str] = None
+    latency: str = "ec2"
+    one_way_ms: float = 0.05
+    jitter_fraction: float = 0.02
+    clocks: tuple[tuple[str, ClockSpec], ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: tuple[FaultSpec, ...] = ()
+    cpu: Optional[CpuSpec] = None
+    duration_s: float = 8.0
+    warmup_s: float = 2.0
+    seed: int = 42
+    clocktime_interval_ms: float = 5.0
+    wait_for_clock: bool = True
+    cdf_sites: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an experiment needs a non-empty name")
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(self, "cdf_sites", tuple(self.cdf_sites))
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(
+            self,
+            "clocks",
+            tuple((site, clock) for site, clock in self.clocks),
+        )
+        if len(self.sites) == 0:
+            raise ConfigurationError("an experiment needs at least one site")
+        if len(set(self.sites)) != len(self.sites):
+            raise ConfigurationError(f"duplicate sites: {list(self.sites)}")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if self.warmup_s < 0:
+            raise ConfigurationError("warmup_s must be non-negative")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError("jitter_fraction must be within [0, 1]")
+        if self.clocktime_interval_ms <= 0:
+            raise ConfigurationError("clocktime_interval_ms must be positive")
+        if self.latency not in ("ec2", "uniform"):
+            raise ConfigurationError(
+                f"unknown latency model {self.latency!r}; 'ec2' or 'uniform'"
+            )
+        if self.latency == "uniform" and self.one_way_ms < 0:
+            raise ConfigurationError("one_way_ms must be non-negative")
+        if self.latency == "ec2":
+            unknown = [s for s in self.sites if s not in EC2_SITES]
+            if unknown:
+                raise ConfigurationError(
+                    f"sites {unknown} are not EC2 sites {list(EC2_SITES)}; "
+                    "use latency='uniform' for custom site names"
+                )
+
+        # Capability-driven protocol checks (raises on unknown protocols).
+        caps = protocol_capabilities(self.protocol)
+        if caps.leader_based:
+            if self.leader_site is not None and self.leader_site not in self.sites:
+                raise ConfigurationError(
+                    f"leader site {self.leader_site!r} is not among {list(self.sites)}"
+                )
+        elif self.leader_site is not None:
+            raise ConfigurationError(
+                f"protocol {self.protocol!r} is leaderless; remove leader_site"
+            )
+        wants_rejoin = any(fault.rejoin for fault in self.faults)
+        if wants_rejoin and not caps.supports_reconfiguration:
+            raise ConfigurationError(
+                f"protocol {self.protocol!r} does not support reconfiguration; "
+                "recover faults cannot use rejoin=true"
+            )
+
+        # Cross-references between sections and the site list.
+        for site, _clock in self.clocks:
+            if site not in self.sites:
+                raise ConfigurationError(f"clock for unknown site {site!r}")
+        if len({site for site, _ in self.clocks}) != len(self.clocks):
+            raise ConfigurationError("duplicate clock entries for a site")
+        if (
+            self.workload.origin_site is not None
+            and self.workload.origin_site not in self.sites
+        ):
+            raise ConfigurationError(
+                f"workload origin {self.workload.origin_site!r} is not among "
+                f"{list(self.sites)}"
+            )
+        for fault in self.faults:
+            if fault.site not in self.sites:
+                raise ConfigurationError(f"fault names unknown site {fault.site!r}")
+            if fault.peer is not None and fault.peer not in self.sites:
+                raise ConfigurationError(f"fault names unknown peer {fault.peer!r}")
+        unknown_cdf = [s for s in self.cdf_sites if s not in self.sites]
+        if unknown_cdf:
+            raise ConfigurationError(f"cdf_sites {unknown_cdf} are not deployed sites")
+
+    # ------------------------------------------------------------------
+    # Derived deployment objects
+    # ------------------------------------------------------------------
+
+    @property
+    def total_runtime_micros(self) -> Micros:
+        return int((self.warmup_s + self.duration_s) * 1_000_000)
+
+    @property
+    def warmup_micros(self) -> Micros:
+        return int(self.warmup_s * 1_000_000)
+
+    def effective_leader_site(self) -> Optional[str]:
+        """The leader site, defaulting to the first site for leader-based
+        protocols; ``None`` for leaderless ones."""
+        if not protocol_capabilities(self.protocol).leader_based:
+            return None
+        return self.leader_site or self.sites[0]
+
+    def cluster_spec(self) -> ClusterSpec:
+        return ClusterSpec.from_sites(list(self.sites))
+
+    def latency_matrix(self) -> LatencyMatrix:
+        if self.latency == "ec2":
+            return ec2_latency_matrix(self.sites)
+        return LatencyMatrix.uniform(self.sites, one_way=ms_to_micros(self.one_way_ms))
+
+    def protocol_config(self) -> ProtocolConfig:
+        spec = self.cluster_spec()
+        leader_site = self.effective_leader_site()
+        leader = spec.by_site(leader_site).replica_id if leader_site else 0
+        return ProtocolConfig(
+            leader=leader,
+            clocktime_interval=ms_to_micros(self.clocktime_interval_ms),
+            wait_for_clock=self.wait_for_clock,
+        )
+
+    def clock_for_site(self, site: str) -> ClockSpec:
+        for name, clock in self.clocks:
+            if name == site:
+                return clock
+        return ClockSpec()
+
+    def clock_offsets(self) -> dict[ReplicaId, Micros]:
+        spec = self.cluster_spec()
+        return {
+            spec.by_site(site).replica_id: ms_to_micros(clock.offset_ms)
+            for site, clock in self.clocks
+            if clock.offset_ms
+        }
+
+    def clock_drift_ppm(self) -> dict[ReplicaId, float]:
+        spec = self.cluster_spec()
+        return {
+            spec.by_site(site).replica_id: clock.drift_ppm
+            for site, clock in self.clocks
+            if clock.drift_ppm
+        }
+
+    def with_protocol(self, protocol: str, name: Optional[str] = None) -> "ExperimentSpec":
+        """A copy of this spec for a different protocol (comparison runs).
+
+        The leader site is dropped when the target protocol is leaderless and
+        defaulted when one is required, so one base spec can sweep all five
+        protocols.
+        """
+        caps = protocol_capabilities(protocol)
+        leader = (self.leader_site or self.sites[0]) if caps.leader_based else None
+        return replace(
+            self, protocol=protocol, leader_site=leader, name=name or self.name
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain, JSON/TOML-compatible dictionary representation."""
+        data: dict[str, Any] = {
+            "name": self.name,
+            "protocol": self.protocol,
+            "sites": list(self.sites),
+            "latency": self.latency,
+            "jitter_fraction": self.jitter_fraction,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "seed": self.seed,
+            "clocktime_interval_ms": self.clocktime_interval_ms,
+            "wait_for_clock": self.wait_for_clock,
+            "workload": asdict(self.workload),
+        }
+        if self.leader_site is not None:
+            data["leader_site"] = self.leader_site
+        if self.latency == "uniform":
+            data["one_way_ms"] = self.one_way_ms
+        if self.clocks:
+            data["clocks"] = {site: asdict(clock) for site, clock in self.clocks}
+        if self.faults:
+            data["faults"] = [asdict(fault) for fault in self.faults]
+        if self.cpu is not None:
+            data["cpu"] = asdict(self.cpu)
+        if self.cdf_sites:
+            data["cdf_sites"] = list(self.cdf_sites)
+        # TOML has no null: drop None-valued optional keys everywhere.
+        data["workload"] = {
+            key: value for key, value in data["workload"].items() if value is not None
+        }
+        if "faults" in data:
+            data["faults"] = [
+                {key: value for key, value in fault.items() if value is not None}
+                for fault in data["faults"]
+            ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a plain dictionary (inverse of :meth:`to_dict`)."""
+        known = {
+            "name", "protocol", "sites", "leader_site", "latency", "one_way_ms",
+            "jitter_fraction", "clocks", "workload", "faults", "cpu",
+            "duration_s", "warmup_s", "seed", "clocktime_interval_ms",
+            "wait_for_clock", "cdf_sites",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown experiment spec keys: {unknown}")
+        for required in ("name", "protocol", "sites"):
+            if required not in data:
+                raise ConfigurationError(f"experiment spec needs a {required!r} key")
+        kwargs: dict[str, Any] = {
+            key: data[key]
+            for key in known - {"sites", "clocks", "workload", "faults", "cpu", "cdf_sites"}
+            if key in data
+        }
+        kwargs["sites"] = tuple(data["sites"])
+        if "cdf_sites" in data:
+            kwargs["cdf_sites"] = tuple(data["cdf_sites"])
+        clocks = data.get("clocks", {})
+        if not isinstance(clocks, Mapping):
+            raise ConfigurationError("clocks must map site name to a clock table")
+        kwargs["clocks"] = tuple(
+            (site, _build(ClockSpec, entry, f"clocks.{site}"))
+            for site, entry in clocks.items()
+        )
+        if "workload" in data:
+            kwargs["workload"] = _build(WorkloadSpec, data["workload"], "workload")
+        faults = data.get("faults", [])
+        if not isinstance(faults, Sequence) or isinstance(faults, (str, bytes)):
+            raise ConfigurationError("faults must be a list of fault tables")
+        kwargs["faults"] = tuple(
+            _build(FaultSpec, entry, f"faults[{index}]")
+            for index, entry in enumerate(faults)
+        )
+        if "cpu" in data:
+            kwargs["cpu"] = _build(CpuSpec, data["cpu"], "cpu")
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            # e.g. duration_s = "2" in a TOML file: the key is known but the
+            # value's type breaks validation arithmetic.
+            raise ConfigurationError(f"invalid experiment spec value: {exc}") from exc
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"spec file {path} does not exist")
+        text = path.read_text()
+        if path.suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(f"invalid TOML in {path}: {exc}") from exc
+        elif path.suffix == ".json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"invalid JSON in {path}: {exc}") from exc
+        else:
+            raise ConfigurationError(
+                f"unsupported spec file extension {path.suffix!r}; use .toml or .json"
+            )
+        # A file may omit `name`; it then defaults to the file's stem.
+        data.setdefault("name", path.stem)
+        return cls.from_dict(data)
+
+
+def _build(cls: type, data: Any, where: str) -> Any:
+    """Instantiate a nested spec dataclass from a mapping with key checking."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"{where} must be a table/mapping, got {type(data).__name__}")
+    fields = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+    unknown = sorted(set(data) - fields)
+    if unknown:
+        raise ConfigurationError(f"unknown keys in {where}: {unknown}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid value in {where}: {exc}") from exc
+
+
+__all__ = [
+    "SCENARIOS",
+    "APPS",
+    "CLOCK_KINDS",
+    "FAULT_KINDS",
+    "ClockSpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "CpuSpec",
+    "ExperimentSpec",
+]

@@ -5,10 +5,16 @@ all construct replicas through :func:`create_replica` so that experiment
 configurations can name protocols with plain strings
 (``"clock-rsm"``, ``"paxos"``, ``"paxos-bcast"``, ``"mencius"``,
 ``"mencius-bcast"``).
+
+Each protocol additionally carries :class:`ProtocolCapabilities` metadata
+(is it leader-based?  does its latency depend on clock quality?  is it a
+broadcast variant?), which :mod:`repro.experiment` uses to validate
+experiment specifications before anything is deployed.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Type
 
 from ..config import ClusterSpec
@@ -19,6 +25,33 @@ from .mencius import MenciusReplica
 from .mencius_bcast import MenciusBcastReplica
 from .multipaxos import MultiPaxosReplica
 from .paxos_bcast import PaxosBcastReplica
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolCapabilities:
+    """Static capability metadata of a replication protocol.
+
+    Attributes:
+        name: Canonical protocol name (registry key).
+        leader_based: Whether ordering flows through a designated leader
+            (Paxos variants).  Leaderless protocols ignore — and experiment
+            specs must not set — a ``leader_site``.
+        needs_clocks: Whether commit latency depends on physical clock
+            quality (Clock-RSM); clock skew/drift scenarios only change the
+            results of protocols with this capability.
+        broadcast_variant: Whether replicas broadcast directly to all peers
+            (the paper's "-bcast" message pattern) instead of relaying
+            through a leader/owner, trading messages for latency.
+        supports_reconfiguration: Whether the implementation handles
+            SUSPEND/consensus reconfiguration (Algorithm 3), which fault
+            schedules with ``rejoin`` recovery rely on.
+    """
+
+    name: str
+    leader_based: bool
+    needs_clocks: bool
+    broadcast_variant: bool
+    supports_reconfiguration: bool
 
 
 def _clock_rsm_class() -> Type[Replica]:
@@ -37,6 +70,60 @@ PROTOCOLS: dict[str, Any] = {
     MENCIUS: MenciusReplica,
     MENCIUS_BCAST: MenciusBcastReplica,
 }
+
+#: Capability metadata per protocol, keyed like :data:`PROTOCOLS`.
+CAPABILITIES: dict[str, ProtocolCapabilities] = {
+    CLOCK_RSM: ProtocolCapabilities(
+        CLOCK_RSM,
+        leader_based=False,
+        needs_clocks=True,
+        broadcast_variant=True,
+        supports_reconfiguration=True,
+    ),
+    PAXOS: ProtocolCapabilities(
+        PAXOS,
+        leader_based=True,
+        needs_clocks=False,
+        broadcast_variant=False,
+        supports_reconfiguration=False,
+    ),
+    PAXOS_BCAST: ProtocolCapabilities(
+        PAXOS_BCAST,
+        leader_based=True,
+        needs_clocks=False,
+        broadcast_variant=True,
+        supports_reconfiguration=False,
+    ),
+    MENCIUS: ProtocolCapabilities(
+        MENCIUS,
+        leader_based=False,
+        needs_clocks=False,
+        broadcast_variant=False,
+        supports_reconfiguration=False,
+    ),
+    MENCIUS_BCAST: ProtocolCapabilities(
+        MENCIUS_BCAST,
+        leader_based=False,
+        needs_clocks=False,
+        broadcast_variant=True,
+        supports_reconfiguration=False,
+    ),
+}
+
+
+def available_protocols() -> tuple[str, ...]:
+    """All registered protocol names, sorted."""
+    return tuple(sorted(PROTOCOLS))
+
+
+def protocol_capabilities(name: str) -> ProtocolCapabilities:
+    """Resolve a protocol name to its capability metadata."""
+    caps = CAPABILITIES.get(name)
+    if caps is None:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {sorted(PROTOCOLS)}"
+        )
+    return caps
 
 
 def protocol_class(name: str) -> Type[Replica]:
@@ -63,4 +150,12 @@ def create_replica(
     return cls(replica_id, spec, **kwargs)
 
 
-__all__ = ["PROTOCOLS", "protocol_class", "create_replica"]
+__all__ = [
+    "PROTOCOLS",
+    "CAPABILITIES",
+    "ProtocolCapabilities",
+    "available_protocols",
+    "protocol_capabilities",
+    "protocol_class",
+    "create_replica",
+]

@@ -104,9 +104,17 @@ class AsyncReplicaDriver:
             micros_to_seconds(action.delay), self._on_timer, action.timer
         )
         self._timer_handles.append(handle)
-        # Garbage-collect completed handles occasionally to bound memory.
+        # Garbage-collect expired handles occasionally to bound memory.  Fired
+        # handles are never "cancelled", so they must be dropped by deadline;
+        # keeping them would make this scan quadratic under sustained load
+        # (every PREPARE can arm a clock-wait timer) and livelock the loop.
+        # A due-but-unfired handle dropped here at worst fires after stop(),
+        # where the stopped-replica guard in _on_timer ignores it.
         if len(self._timer_handles) > 1024:
-            self._timer_handles = [h for h in self._timer_handles if not h.cancelled()]
+            now = loop.time()
+            self._timer_handles = [
+                h for h in self._timer_handles if not h.cancelled() and h.when() > now
+            ]
 
 
 __all__ = ["AsyncReplicaDriver"]

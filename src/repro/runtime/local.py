@@ -47,6 +47,7 @@ class LocalAsyncCluster:
         latency: Optional[LatencyMatrix] = None,
         protocol_config: Optional[ProtocolConfig] = None,
         state_machine_factory=lambda _rid: KVStateMachine(),
+        clock_factory=None,
     ) -> None:
         self.protocol = protocol
         self.spec = spec
@@ -64,6 +65,7 @@ class LocalAsyncCluster:
                 state_machine_factory(rid),
                 transport=transport,
                 protocol_config=protocol_config,
+                clock=clock_factory(rid) if clock_factory is not None else None,
             )
 
     # -- delivery --------------------------------------------------------------------

@@ -13,6 +13,7 @@ import asyncio
 import logging
 from typing import Any, Optional
 
+from ..clocks.base import Clock
 from ..clocks.physical import SystemClock
 from ..config import ClusterSpec, ProtocolConfig
 from ..errors import RequestTimeout, TransportError
@@ -46,6 +47,7 @@ class ReplicaServer:
         log: Optional[CommandLog] = None,
         protocol_config: Optional[ProtocolConfig] = None,
         registry: Optional[MessageRegistry] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.replica_id = replica_id
         self.spec = spec
@@ -66,7 +68,7 @@ class ReplicaServer:
             protocol,
             replica_id,
             spec,
-            clock=SystemClock(),
+            clock=clock if clock is not None else SystemClock(),
             log=log if log is not None else InMemoryLog(),
             state_machine=state_machine,
             config=protocol_config or ProtocolConfig(),

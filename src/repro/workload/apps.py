@@ -1,0 +1,45 @@
+"""The replicated applications selectable by experiment specs.
+
+One place maps an app name (``kv`` / ``append-log`` / ``null``) to the
+per-replica state-machine factory and the client payload factory, so the
+simulator and asyncio experiment backends are guaranteed to run the same
+workload for the same spec.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..kvstore.commands import random_update
+from ..kvstore.kv import KVStateMachine
+from ..statemachine import AppendLogStateMachine, NullStateMachine, StateMachine
+from ..types import ReplicaId
+
+#: App name -> per-replica state machine factory.
+STATE_MACHINE_FACTORIES: dict[str, Callable[[ReplicaId], StateMachine]] = {
+    "kv": lambda _rid: KVStateMachine(),
+    "append-log": lambda _rid: AppendLogStateMachine(),
+    "null": lambda _rid: NullStateMachine(),
+}
+
+
+def state_machine_factory(app: str) -> Callable[[ReplicaId], StateMachine]:
+    """The per-replica state-machine factory for *app*."""
+    return STATE_MACHINE_FACTORIES[app]
+
+
+def payload_factory(
+    app: str, payload_size: int
+) -> Optional[Callable[[random.Random], bytes]]:
+    """The client payload factory for *app*, or ``None`` for opaque blobs.
+
+    The kv app cannot digest opaque byte blobs; its clients issue random
+    updates of the configured value size (the paper's client model).
+    """
+    if app == "kv":
+        return lambda rng: random_update(rng, value_size=payload_size)
+    return None
+
+
+__all__ = ["STATE_MACHINE_FACTORIES", "state_machine_factory", "payload_factory"]

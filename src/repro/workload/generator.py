@@ -151,12 +151,14 @@ class SaturatingClients:
         payload_size: int,
         window: int = 64,
         collector: Optional[LatencyCollector] = None,
+        payload_factory=None,
     ) -> None:
         self.cluster = cluster
         self.replica_id = replica_id
         self.payload_size = payload_size
         self.window = window
         self.collector = collector
+        self._payload_factory = payload_factory
         self.submitted = 0
         self.completed = 0
         self._stopped = False
@@ -177,9 +179,13 @@ class SaturatingClients:
         if self._stopped:
             return
         site = self.cluster.spec.replica(self.replica_id).site
+        if self._payload_factory is None:
+            payload = bytes(self.payload_size)
+        else:
+            payload = self._payload_factory(self.cluster.env.random)
         command = Command(
             CommandId(f"{site}/sat{self._pool_id}", next(self._command_seq)),
-            bytes(self.payload_size),
+            payload,
             created_at=self.cluster.env.now,
         )
         self._outstanding.add(command.command_id)

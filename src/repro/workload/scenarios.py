@@ -1,14 +1,24 @@
-"""The paper's workload scenarios: balanced, imbalanced, and saturating."""
+"""The paper's workload scenarios: balanced, imbalanced, and saturating.
+
+Besides the scenario-specific helpers, this module hosts the scenario
+registry used by the declarative experiment API: :func:`build_workload`
+attaches the workload described by a :class:`repro.experiment.WorkloadSpec`
+to a simulated cluster, dispatching on the spec's ``scenario`` name.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..metrics.collector import LatencyCollector
 from ..sim.cluster import SimulatedCluster
-from ..types import Micros, ReplicaId
+from ..types import Micros, ReplicaId, ms_to_micros
+from .apps import payload_factory as app_payload_factory
 from .generator import ClosedLoopClients, SaturatingClients, WorkloadOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (experiment imports us)
+    from ..experiment.spec import WorkloadSpec
 
 
 @dataclass
@@ -57,17 +67,94 @@ def saturating_workload(
     window_per_replica: int = 64,
     replicas: Optional[Sequence[ReplicaId]] = None,
     warmup: Micros = 0,
+    payload_factory=None,
 ) -> WorkloadHandle:
     """Saturate every replica with outstanding commands (Figure 8)."""
     collector = LatencyCollector(warmup_until=warmup)
     generators = []
     for replica_id in replicas if replicas is not None else cluster.spec.replica_ids:
         generator = SaturatingClients(
-            cluster, replica_id, payload_size, window=window_per_replica, collector=collector
+            cluster,
+            replica_id,
+            payload_size,
+            window=window_per_replica,
+            collector=collector,
+            payload_factory=payload_factory,
         )
         generator.start()
         generators.append(generator)
     return WorkloadHandle(collector, generators)
 
 
-__all__ = ["WorkloadHandle", "balanced_workload", "imbalanced_workload", "saturating_workload"]
+# ---------------------------------------------------------------------------
+# Scenario registry (declarative experiment API)
+# ---------------------------------------------------------------------------
+
+
+def _workload_options(spec: "WorkloadSpec") -> WorkloadOptions:
+    return WorkloadOptions(
+        clients_per_replica=spec.clients_per_site,
+        payload_size=spec.payload_size,
+        think_time_min=ms_to_micros(spec.think_time_min_ms),
+        think_time_max=ms_to_micros(spec.think_time_max_ms),
+        payload_factory=app_payload_factory(spec.app, spec.payload_size),
+    )
+
+
+def _build_balanced(
+    cluster: SimulatedCluster, spec: "WorkloadSpec", warmup: Micros
+) -> WorkloadHandle:
+    return balanced_workload(cluster, _workload_options(spec), warmup=warmup)
+
+
+def _build_imbalanced(
+    cluster: SimulatedCluster, spec: "WorkloadSpec", warmup: Micros
+) -> WorkloadHandle:
+    origin = cluster.spec.by_site(spec.origin_site).replica_id
+    return imbalanced_workload(cluster, origin, _workload_options(spec), warmup=warmup)
+
+
+def _build_saturating(
+    cluster: SimulatedCluster, spec: "WorkloadSpec", warmup: Micros
+) -> WorkloadHandle:
+    return saturating_workload(
+        cluster,
+        spec.payload_size,
+        window_per_replica=spec.outstanding_per_site,
+        warmup=warmup,
+        payload_factory=app_payload_factory(spec.app, spec.payload_size),
+    )
+
+
+ScenarioBuilder = Callable[[SimulatedCluster, "WorkloadSpec", Micros], WorkloadHandle]
+
+#: Scenario name -> builder; the experiment backends dispatch through this.
+SCENARIO_BUILDERS: dict[str, ScenarioBuilder] = {
+    "balanced": _build_balanced,
+    "imbalanced": _build_imbalanced,
+    "saturating": _build_saturating,
+}
+
+
+def build_workload(
+    cluster: SimulatedCluster, spec: "WorkloadSpec", warmup: Micros = 0
+) -> WorkloadHandle:
+    """Attach the workload described by an experiment spec to *cluster*."""
+    try:
+        builder = SCENARIO_BUILDERS[spec.scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload scenario {spec.scenario!r}; "
+            f"available: {sorted(SCENARIO_BUILDERS)}"
+        ) from None
+    return builder(cluster, spec, warmup)
+
+
+__all__ = [
+    "WorkloadHandle",
+    "balanced_workload",
+    "imbalanced_workload",
+    "saturating_workload",
+    "SCENARIO_BUILDERS",
+    "build_workload",
+]
