@@ -1,0 +1,95 @@
+"""Checker overhead benchmark: histories/second through the linearizability
+checker, plus the verdict itself.
+
+Two workloads feed the checker: a real recorded history from a seeded
+Clock-RSM experiment (total-order pre-pass, the hot path every `repro check`
+takes) and a batch of synthetic apply-order-free histories that force the
+per-key Wing–Gong search (the fallback path).  The measured rates go to
+``benchmarks/results/BENCH_checker.json`` so the performance trajectory
+tracks checker overhead alongside protocol latency and throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.checker import OpHistory, check_history
+from repro.experiment import ExperimentSpec, WorkloadSpec, check_spec
+from repro.kvstore.commands import encode_delete, encode_get, encode_put
+from repro.types import CommandId
+
+from conftest import RESULTS_DIR
+
+
+def synthetic_history(seed: int, ops: int = 120, keys: int = 12) -> OpHistory:
+    """A random valid sequential KV execution with jittered intervals."""
+    rng = random.Random(seed)
+    history = OpHistory()
+    values: dict[str, bytes] = {}
+    now = 0
+    for seq in range(1, ops + 1):
+        key = f"key-{rng.randrange(keys)}"
+        kind = rng.choice(("put", "put", "get", "delete"))
+        if kind == "put":
+            value = bytes([rng.randrange(256)]) * 4
+            payload, output = encode_put(key, value), values.get(key)
+            values[key] = value
+        elif kind == "get":
+            payload, output = encode_get(key), values.get(key)
+        else:
+            payload, output = encode_delete(key), values.pop(key, None) is not None
+        invoked = now + rng.randrange(1, 50)
+        returned = invoked + rng.randrange(1, 40)
+        now = invoked  # next op may overlap this one's response window
+        cid = CommandId(f"bench-{seq % 7}", seq)
+        history.invoke(cid, 0, payload, invoked)
+        history.complete(cid, output, returned)
+    return history
+
+
+def test_bench_checker(benchmark, report_sink):
+    # A real history, recorded from a seeded experiment on the simulator.
+    spec = ExperimentSpec(
+        name="bench-checker",
+        protocol="clock-rsm",
+        sites=("CA", "VA", "IR"),
+        workload=WorkloadSpec(clients_per_site=8, think_time_max_ms=20.0),
+        duration_s=2.0,
+        warmup_s=0.0,
+        seed=97,
+    )
+    recorded_run = check_spec(spec)
+    assert recorded_run.linearizable
+    recorded = recorded_run.result.history
+
+    synthetic = [synthetic_history(seed) for seed in range(40)]
+    histories = [recorded] + synthetic
+
+    def check_all():
+        return [check_history(history) for history in histories]
+
+    start = time.perf_counter()
+    reports = benchmark.pedantic(check_all, rounds=3, iterations=1)
+    wall_s = time.perf_counter() - start
+
+    assert all(report.linearizable for report in reports)
+    ops_checked = sum(len(history) for history in histories)
+    rounds = 3
+    payload = {
+        "name": "checker",
+        "histories_checked": len(histories) * rounds,
+        "ops_checked": ops_checked * rounds,
+        "wall_s": round(wall_s, 4),
+        "histories_per_s": round(len(histories) * rounds / wall_s, 1),
+        "ops_per_s": round(ops_checked * rounds / wall_s, 1),
+        "recorded_history_ops": len(recorded),
+        "methods": sorted({report.method for report in reports}),
+    }
+    (RESULTS_DIR / "BENCH_checker.json").write_text(json.dumps(payload, indent=2))
+    report_sink(
+        "BENCH_checker",
+        json.dumps(payload, indent=2),
+    )

@@ -4,6 +4,7 @@ Exposes the benchmark harness without pytest::
 
     python -m repro.cli run examples/specs/fig1_balanced_5.toml
     python -m repro.cli run examples/specs/fig1_balanced_5.toml --backend async
+    python -m repro.cli check examples/specs/crash_leaderless_commit.toml
     python -m repro.cli latency --sites CA VA IR JP SG --leader VA
     python -m repro.cli imbalanced --sites CA VA IR JP SG --leader CA
     python -m repro.cli throughput --sizes 10 100 1000
@@ -11,9 +12,11 @@ Exposes the benchmark harness without pytest::
     python -m repro.cli analyze --sites CA IR BR
 
 ``run`` executes a declarative :class:`~repro.experiment.ExperimentSpec`
-file (TOML or JSON) on either backend; the ``latency`` / ``imbalanced`` /
-``throughput`` subcommands build the same specs internally and run them
-through :class:`~repro.experiment.Deployment`.
+file (TOML or JSON) on either backend; ``check`` additionally records the
+operation history and verifies it is linearizable (exit status 1 when it is
+not); the ``latency`` / ``imbalanced`` / ``throughput`` subcommands build
+the same specs internally and run them through
+:class:`~repro.experiment.Deployment`.
 
 Installed as the ``clock-rsm-repro`` console script.
 """
@@ -41,7 +44,7 @@ from .bench.reporting import (
 )
 from .bench.throughput import run_throughput_comparison
 from .errors import ReproError
-from .experiment import BACKENDS, Deployment, ExperimentSpec
+from .experiment import BACKENDS, Deployment, ExperimentSpec, check_spec
 from .types import seconds_to_micros
 
 
@@ -113,6 +116,33 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"({result.throughput_kops:.1f} kop/s)"
     )
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run a spec with history recording and verify linearizability."""
+    backends = ["sim", "async"] if args.backend == "both" else [args.backend]
+    exit_code = 0
+    runs = []
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+        for backend in backends:
+            options = (
+                {"time_scale": args.time_scale, "submit_timeout": args.submit_timeout}
+                if backend == "async"
+                else {}
+            )
+            run = check_spec(spec, backend=backend, **options)
+            runs.append(run)
+            if not run.linearizable:
+                exit_code = 1
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        print(json.dumps([run.to_dict() for run in runs], indent=2))
+    else:
+        for run in runs:
+            print(run.describe())
+    return exit_code
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -206,6 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true",
                      help="print the full result as JSON instead of a table")
     run.set_defaults(handler=cmd_run)
+
+    check = subparsers.add_parser(
+        "check",
+        help="run a spec with history recording and verify linearizability",
+    )
+    check.add_argument("spec", help="path to an ExperimentSpec file")
+    check.add_argument("--backend", default="sim",
+                       choices=sorted(BACKENDS) + ["both"],
+                       help="backend(s) to run the spec on before checking")
+    check.add_argument("--time-scale", type=float, default=20.0,
+                       help="async backend: divide delays and durations by this factor")
+    check.add_argument("--submit-timeout", type=float, default=5.0,
+                       help="async backend: per-command commit timeout in seconds")
+    check.add_argument("--json", action="store_true",
+                       help="print results and verdicts as JSON")
+    check.set_defaults(handler=cmd_check)
 
     latency = subparsers.add_parser("latency", help="balanced-workload latency comparison")
     _add_site_arguments(latency, ("CA", "VA", "IR", "JP", "SG"))

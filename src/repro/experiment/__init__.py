@@ -18,6 +18,7 @@ Example::
     print(result.mean_ms("CA"))
 """
 
+from .check import CheckedRun, check_spec
 from .deployment import BACKENDS, Deployment, run_comparison, run_spec
 from .result import ExperimentResult, SiteResult
 from .spec import (
@@ -38,9 +39,11 @@ __all__ = [
     "FAULT_KINDS",
     "SCENARIOS",
     "BACKENDS",
+    "CheckedRun",
     "ClockSpec",
     "CpuSpec",
     "Deployment",
+    "check_spec",
     "ExperimentResult",
     "ExperimentSpec",
     "FaultSpec",

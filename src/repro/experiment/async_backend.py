@@ -9,10 +9,16 @@ delays, think times, clock offsets and durations are divided by it, and the
 recorded latencies are multiplied back, so the same spec produces results in
 the same units as the simulator backend.
 
-Fault schedules and the CPU cost model are simulator-only features; specs
-using them are rejected up front.  A spec's synthetic ``jitter_fraction`` is
-not injected either — the live event loop contributes its own scheduling
-jitter (the result's metadata records ``jitter_applied: False``).
+Fault schedules run here too: the same :class:`~repro.experiment.spec.FaultSpec`
+events that drive the simulator (crash, recover — optionally with rejoin —,
+partition/heal, isolate, clock-jump) are scheduled as event-loop timers
+against the live cluster, with times divided by the ``time_scale`` like
+every other delay.  Fault kinds this backend has no implementation for are
+rejected at validation time, never silently dropped.  The CPU cost model
+remains simulator-only (the real event loop is the CPU).  A spec's synthetic
+``jitter_fraction`` is not injected either — the live event loop contributes
+its own scheduling jitter (the result's metadata records
+``jitter_applied: False``).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import itertools
 import random
 from typing import Optional
 
+from ..checker.history import OpHistory
 from ..clocks.base import Clock, TimeSource
 from ..clocks.physical import DriftingClock, SkewedClock, SystemClock
 from ..config import ProtocolConfig
@@ -34,7 +41,14 @@ from ..runtime.server import ReplicaServer
 from ..types import Command, CommandId, ReplicaId, ms_to_micros
 from ..workload.apps import payload_factory, state_machine_factory
 from .result import ExperimentResult, SiteResult
-from .spec import ExperimentSpec
+from .spec import ExperimentSpec, FaultSpec
+
+#: Fault kinds this backend knows how to inject.  Kinds outside this set are
+#: a configuration error, so new FAULT_KINDS entries can never be silently
+#: ignored on the live runtime.
+ASYNC_FAULT_KINDS: frozenset[str] = frozenset(
+    {"crash", "recover", "partition", "isolate", "clock-jump"}
+)
 
 
 class _WallTimeSource(TimeSource):
@@ -81,7 +95,10 @@ class AsyncBackend:
     def _clock_factory(self, spec: ExperimentSpec):
         offsets = spec.clock_offsets()
         drifts = spec.clock_drift_ppm()
-        if not offsets and not drifts:
+        # Clock-jump faults step clocks mid-run, so every replica then needs
+        # an adjustable clock even if it starts perfectly synchronized.
+        jumpy = any(fault.kind == "clock-jump" for fault in spec.faults)
+        if not offsets and not drifts and not jumpy:
             return None
         scale = self.time_scale
 
@@ -90,7 +107,7 @@ class AsyncBackend:
             drift = drifts.get(replica_id, 0.0)
             if drift:
                 return DriftingClock(_WallTimeSource(), skew=offset, drift_ppm=drift)
-            if offset:
+            if offset or jumpy:
                 return SkewedClock(_WallTimeSource(), skew=offset)
             return None
 
@@ -117,9 +134,12 @@ class AsyncBackend:
         )
 
     def _check_supported(self, spec: ExperimentSpec) -> None:
-        if spec.faults:
+        unsupported = sorted(
+            {fault.kind for fault in spec.faults} - ASYNC_FAULT_KINDS
+        )
+        if unsupported:
             raise ConfigurationError(
-                "the async backend does not support fault schedules; "
+                f"the async backend cannot inject fault kinds {unsupported}; "
                 "run this spec on the sim backend"
             )
         if spec.cpu is not None:
@@ -127,6 +147,54 @@ class AsyncBackend:
                 "the async backend has no CPU cost model (the real event loop "
                 "is the CPU); remove the [cpu] section or use the sim backend"
             )
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def _fault_actions(
+        self, spec: ExperimentSpec, cluster: LocalAsyncCluster
+    ) -> list[tuple[float, "callable"]]:
+        """(delay-seconds, thunk) pairs implementing the spec's fault schedule."""
+        cluster_spec = spec.cluster_spec()
+        rid = lambda site: cluster_spec.by_site(site).replica_id
+        scale = self.time_scale
+        actions: list[tuple[float, "callable"]] = []
+        for fault in spec.faults:
+            at = fault.at_s / scale
+            heal_at = fault.heal_at_s / scale if fault.heal_at_s is not None else None
+            if fault.kind == "crash":
+                actions.append((at, lambda f=fault: cluster.crash(rid(f.site))))
+            elif fault.kind == "recover":
+                actions.append(
+                    (at, lambda f=fault: cluster.recover(rid(f.site), rejoin=f.rejoin))
+                )
+            elif fault.kind == "partition":
+                actions.append(
+                    (at, lambda f=fault: cluster.partition(rid(f.site), rid(f.peer)))
+                )
+                if heal_at is not None:
+                    actions.append(
+                        (heal_at, lambda f=fault: cluster.heal(rid(f.site), rid(f.peer)))
+                    )
+            elif fault.kind == "isolate":
+                actions.append((at, lambda f=fault: cluster.isolate(rid(f.site))))
+                if heal_at is not None:
+                    def _heal_isolation(f: FaultSpec = fault) -> None:
+                        isolated = rid(f.site)
+                        for other in cluster_spec.replica_ids:
+                            if other != isolated:
+                                cluster.heal(isolated, other)
+
+                    actions.append((heal_at, _heal_isolation))
+            elif fault.kind == "clock-jump":
+                delta = int(ms_to_micros(fault.offset_ms) / scale)
+                actions.append(
+                    (at, lambda f=fault, d=delta: cluster.clock_jump(rid(f.site), d))
+                )
+            else:  # pragma: no cover - _check_supported validates kinds
+                raise AssertionError(f"unhandled fault kind {fault.kind!r}")
+        return actions
 
     # ------------------------------------------------------------------
     # Running
@@ -149,6 +217,7 @@ class AsyncBackend:
 
         uid = itertools.count(1)
         app_payloads = payload_factory(workload.app, workload.payload_size)
+        history = OpHistory() if spec.record_history else None
 
         def make_payload(rng: random.Random) -> bytes:
             if app_payloads is not None:
@@ -174,11 +243,19 @@ class AsyncBackend:
                     await asyncio.sleep(rng.uniform(think_min, think_max))
                 command = Command(CommandId(name, next(uid)), make_payload(rng))
                 collector.record_submit(command.command_id, rid, virtual_micros())
+                if history is not None:
+                    history.invoke(
+                        command.command_id, rid, command.payload, virtual_micros()
+                    )
                 try:
-                    await server.submit(command, timeout=self.submit_timeout)
+                    output = await server.submit(command, timeout=self.submit_timeout)
                 except RequestTimeout:
+                    if history is not None:
+                        history.fail(command.command_id, virtual_micros())
                     continue
                 committed_at = virtual_micros()
+                if history is not None:
+                    history.complete(command.command_id, output, committed_at)
                 # Commands draining after the measurement window ended would
                 # never have committed on the sim backend (it hard-stops at
                 # total_runtime_micros); keep the two backends comparable.
@@ -186,7 +263,10 @@ class AsyncBackend:
                     collector.record_commit(command.command_id, committed_at)
 
         tasks: list[asyncio.Task] = []
+        fault_handles: list[asyncio.TimerHandle] = []
         async with cluster:
+            for delay, thunk in self._fault_actions(spec, cluster):
+                fault_handles.append(loop.call_later(delay, thunk))
             for replica_spec in cluster_spec.replicas:
                 rid = replica_spec.replica_id
                 site = replica_spec.site
@@ -205,6 +285,10 @@ class AsyncBackend:
                     )
             await asyncio.sleep((spec.warmup_s + spec.duration_s) / self.time_scale)
             stop.set()
+            # Faults scheduled past the end of the run (e.g. a heal_at after
+            # duration_s) must not fire into the tear-down.
+            for handle in fault_handles:
+                handle.cancel()
             # Let in-flight submissions drain, then cancel stragglers.
             _done, pending = await asyncio.wait(tasks, timeout=self.submit_timeout)
             for task in pending:
@@ -232,6 +316,13 @@ class AsyncBackend:
                 replica_metrics[rid] = {
                     "executed": float(cluster.servers[rid].replica.executed_count),
                 }
+            if history is not None:
+                history.record_apply_orders(
+                    {
+                        rid: tuple(server.replica.execution_order)
+                        for rid, server in cluster.servers.items()
+                    }
+                )
 
         total = collector.count()
         return ExperimentResult(
@@ -251,7 +342,8 @@ class AsyncBackend:
                 # event loop contributes its own natural scheduling jitter.
                 "jitter_applied": False,
             },
+            history=history,
         )
 
 
-__all__ = ["AsyncBackend"]
+__all__ = ["ASYNC_FAULT_KINDS", "AsyncBackend"]

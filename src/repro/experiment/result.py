@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..checker.history import OpHistory
 from ..metrics.stats import LatencySummary
 from ..types import ReplicaId
 
@@ -52,6 +53,8 @@ class ExperimentResult:
     throughput_kops: float
     replica_metrics: dict[ReplicaId, dict[str, float]] = field(default_factory=dict)
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Operation history (set when the spec enabled ``record_history``).
+    history: Optional[OpHistory] = None
 
     # -- latency accessors (mirroring the bench harness result API) --------
 
@@ -97,7 +100,7 @@ class ExperimentResult:
         return rows
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "protocol": self.protocol,
             "backend": self.backend,
@@ -110,6 +113,15 @@ class ExperimentResult:
             },
             "metadata": self.metadata,
         }
+        if self.history is not None:
+            # A size summary only; OpHistory.to_dict() serializes full events.
+            data["history"] = {
+                "ops": len(self.history),
+                "completed": self.history.count("ok"),
+                "pending": self.history.count("pending"),
+                "failed": self.history.count("fail"),
+            }
+        return data
 
 
 __all__ = ["SiteResult", "ExperimentResult"]

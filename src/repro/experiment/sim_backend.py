@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+from ..checker.history import HistoryRecorder
 from ..metrics.stats import LatencySummary
 from ..sim.cluster import SimulatedCluster
 from ..sim.failures import FailureSchedule
 from ..sim.network import NetworkOptions
 from ..sim.node import CpuModel
-from ..types import ReplicaId, seconds_to_micros
+from ..types import ReplicaId, ms_to_micros, seconds_to_micros
 from ..workload.apps import state_machine_factory
 from ..workload.scenarios import build_workload
 from .result import ExperimentResult, SiteResult
@@ -48,6 +49,8 @@ def _fault_schedule(spec: ExperimentSpec) -> FailureSchedule:
                         else None
                     )
                     schedule.partition(at, rid(fault.site), rid(other), heal_at=heal_at)
+        elif fault.kind == "clock-jump":
+            schedule.clock_jump(at, rid(fault.site), ms_to_micros(fault.offset_ms))
         else:  # pragma: no cover - FaultSpec validates kinds
             raise AssertionError(f"unhandled fault kind {fault.kind!r}")
     return schedule
@@ -66,7 +69,12 @@ class SimBackend:
             spec.protocol,
             spec.protocol_config(),
             seed=spec.seed,
-            network_options=NetworkOptions(jitter_fraction=spec.jitter_fraction),
+            # Partitions buffer (and re-deliver on heal) rather than drop:
+            # the paper assumes quasi-reliable TCP channels, where an outage
+            # delays messages between correct replicas but never loses them.
+            network_options=NetworkOptions(
+                jitter_fraction=spec.jitter_fraction, partition_mode="buffer"
+            ),
             clock_offsets=spec.clock_offsets(),
             clock_drift_ppm=spec.clock_drift_ppm(),
             cpu_model=_cpu_model(spec.cpu) if spec.cpu is not None else None,
@@ -75,6 +83,7 @@ class SimBackend:
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
         cluster = self.build_cluster(spec)
+        recorder = HistoryRecorder(cluster) if spec.record_history else None
         handle = build_workload(cluster, spec.workload, warmup=spec.warmup_micros)
         if spec.faults:
             _fault_schedule(spec).install(cluster)
@@ -126,6 +135,7 @@ class SimBackend:
             throughput_kops=total / spec.duration_s / 1_000.0,
             replica_metrics=replica_metrics,
             metadata={"seed": spec.seed, "simulated_s": spec.warmup_s + spec.duration_s},
+            history=recorder.finish() if recorder is not None else None,
         )
 
 

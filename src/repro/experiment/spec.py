@@ -40,8 +40,8 @@ APPS: tuple[str, ...] = ("kv", "append-log", "null")
 #: Clock model kinds selectable per site.
 CLOCK_KINDS: tuple[str, ...] = ("perfect", "skewed", "drifting")
 
-#: Fault event kinds understood by the sim backend.
-FAULT_KINDS: tuple[str, ...] = ("crash", "recover", "partition", "isolate")
+#: Fault event kinds understood by both experiment backends.
+FAULT_KINDS: tuple[str, ...] = ("crash", "recover", "partition", "isolate", "clock-jump")
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,7 +114,12 @@ class WorkloadSpec:
 
 @dataclass(frozen=True, slots=True)
 class FaultSpec:
-    """One scripted fault event (sim backend only)."""
+    """One scripted fault event (both backends understand every kind).
+
+    ``clock-jump`` steps one site's physical clock by ``offset_ms`` (positive
+    or negative) at ``at_s``; only protocols with the needs-clocks capability
+    react to it, which is exactly what consistency checks want to probe.
+    """
 
     kind: str
     at_s: float
@@ -122,6 +127,7 @@ class FaultSpec:
     peer: Optional[str] = None
     heal_at_s: Optional[float] = None
     rejoin: bool = False
+    offset_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -140,6 +146,12 @@ class FaultSpec:
             raise ConfigurationError("heal_at_s must be after at_s")
         if self.rejoin and self.kind != "recover":
             raise ConfigurationError("rejoin only applies to recover faults")
+        if self.kind == "clock-jump" and not self.offset_ms:
+            raise ConfigurationError("a clock-jump fault needs a non-zero offset_ms")
+        if self.kind != "clock-jump" and self.offset_ms:
+            raise ConfigurationError(
+                f"offset_ms only applies to clock-jump faults, not {self.kind!r}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -178,6 +190,9 @@ class ExperimentSpec:
     clocktime_interval_ms: float = 5.0
     wait_for_clock: bool = True
     cdf_sites: tuple[str, ...] = ()
+    #: Record an operation history (invoke/ok/fail events plus per-replica
+    #: apply orders) into the result, for :mod:`repro.checker`.
+    record_history: bool = False
 
     # ------------------------------------------------------------------
     # Validation
@@ -364,13 +379,20 @@ class ExperimentSpec:
             data["cpu"] = asdict(self.cpu)
         if self.cdf_sites:
             data["cdf_sites"] = list(self.cdf_sites)
-        # TOML has no null: drop None-valued optional keys everywhere.
+        if self.record_history:
+            data["record_history"] = True
+        # TOML has no null: drop None-valued optional keys everywhere (and
+        # the clock-jump-only offset_ms when it is at its 0.0 default).
         data["workload"] = {
             key: value for key, value in data["workload"].items() if value is not None
         }
         if "faults" in data:
             data["faults"] = [
-                {key: value for key, value in fault.items() if value is not None}
+                {
+                    key: value
+                    for key, value in fault.items()
+                    if value is not None and (key != "offset_ms" or value)
+                }
                 for fault in data["faults"]
             ]
         return data
@@ -382,7 +404,7 @@ class ExperimentSpec:
             "name", "protocol", "sites", "leader_site", "latency", "one_way_ms",
             "jitter_fraction", "clocks", "workload", "faults", "cpu",
             "duration_s", "warmup_s", "seed", "clocktime_interval_ms",
-            "wait_for_clock", "cdf_sites",
+            "wait_for_clock", "cdf_sites", "record_history",
         }
         unknown = sorted(set(data) - known)
         if unknown:

@@ -126,7 +126,13 @@ class Replica(ABC):
         state_machine: StateMachine,
         config: Optional[ProtocolConfig] = None,
         observer: Optional[ReplicaObserver] = None,
+        recover: bool = False,
     ) -> None:
+        # ``recover`` asks the replica to rebuild soft state from its stable
+        # log.  Clock-RSM intercepts it (paper Section V-B); protocols
+        # without a replay procedure restart blank over the surviving log,
+        # so the flag is accepted — and ignored — here.
+        del recover
         if replica_id not in spec.replica_ids:
             raise ProtocolError(f"replica {replica_id} is not part of the spec {spec.replica_ids}")
         self.replica_id = replica_id

@@ -66,10 +66,15 @@ class AsyncReplicaDriver:
     # -- inputs ---------------------------------------------------------------------
 
     def submit(self, command: Command) -> None:
-        """Submit a client command to the replica."""
+        """Submit a client command to the replica (dropped while stopped)."""
+        if self.replica.stopped:
+            return
         self._perform(self.replica.on_client_request(command))
 
     def _on_envelope(self, envelope: Envelope) -> None:
+        if self.replica.stopped:
+            # A delivery already scheduled when the replica crashed.
+            return
         self._perform(self.replica.on_message(envelope.src, envelope.message))
 
     def _on_timer(self, timer: Timer) -> None:

@@ -13,6 +13,7 @@ import asyncio
 from typing import Any, Optional
 
 from ..config import ClusterSpec, ProtocolConfig
+from ..errors import ConfigurationError
 from ..net.latency import LatencyMatrix
 from ..net.message import Envelope
 from ..net.transport import Transport
@@ -54,6 +55,17 @@ class LocalAsyncCluster:
         self.latency = latency
         self.servers: dict[ReplicaId, ReplicaServer] = {}
         self._transports: dict[ReplicaId, _DelayedLoopTransport] = {}
+        self._state_machine_factory = state_machine_factory
+        self._down: set[ReplicaId] = set()
+        self._partitions: set[frozenset[ReplicaId]] = set()
+        #: Messages held back by partitions (quasi-reliable channels: an
+        #: outage delays traffic between live replicas, it does not lose it),
+        #: as (send sequence, envelope).  A message may be parked at send
+        #: time or — if already in flight when the partition started — at
+        #: delivery time; releasing in send-sequence order keeps each
+        #: channel FIFO across both cases.
+        self._parked: dict[tuple[ReplicaId, ReplicaId], list[tuple[int, Envelope]]] = {}
+        self._send_seq: dict[tuple[ReplicaId, ReplicaId], int] = {}
         for replica_spec in spec.replicas:
             rid = replica_spec.replica_id
             transport = _DelayedLoopTransport(rid, self)
@@ -76,13 +88,41 @@ class LocalAsyncCluster:
         return self.latency.delay(src, dst)
 
     def _deliver_later(self, envelope: Envelope) -> None:
+        key = (envelope.src, envelope.dst)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        self._schedule_delivery(envelope, seq)
+
+    def _schedule_delivery(self, envelope: Envelope, seq: int) -> None:
+        if envelope.src in self._down or envelope.dst in self._down:
+            return
+        if frozenset((envelope.src, envelope.dst)) in self._partitions:
+            self._park(envelope, seq)
+            return
         delay = micros_to_seconds(self._one_way_delay(envelope.src, envelope.dst))
         loop = asyncio.get_running_loop()
-        target = self._transports[envelope.dst]
         if delay <= 0:
-            loop.call_soon(target._dispatch, envelope)
+            loop.call_soon(self._dispatch_or_park, envelope, seq)
         else:
-            loop.call_later(delay, target._dispatch, envelope)
+            loop.call_later(delay, self._dispatch_or_park, envelope, seq)
+
+    def _park(self, envelope: Envelope, seq: int) -> None:
+        self._parked.setdefault((envelope.src, envelope.dst), []).append((seq, envelope))
+
+    def _dispatch_or_park(self, envelope: Envelope, seq: int) -> None:
+        """Delivery-time re-check, mirroring the simulator's network: a
+        message in flight when a partition started is parked until heal (a
+        crash of either endpoint drops it)."""
+        if envelope.src in self._down or envelope.dst in self._down:
+            return
+        if frozenset((envelope.src, envelope.dst)) in self._partitions:
+            self._park(envelope, seq)
+            return
+        self._transports[envelope.dst]._dispatch(envelope)
+
+    def _release_parked(self, src: ReplicaId, dst: ReplicaId) -> None:
+        for seq, envelope in sorted(self._parked.pop((src, dst), [])):
+            self._schedule_delivery(envelope, seq)
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -100,6 +140,62 @@ class LocalAsyncCluster:
 
     async def __aexit__(self, *_exc: Any) -> None:
         await self.stop()
+
+    # -- fault injection ------------------------------------------------------------------
+
+    def crash(self, replica_id: ReplicaId) -> None:
+        """Crash a replica: it stops processing; its stable log survives."""
+        self.servers[replica_id].crash()
+        self._down.add(replica_id)
+
+    def recover(self, replica_id: ReplicaId, rejoin: bool = False) -> None:
+        """Recover a crashed replica from its log and reconnect it.
+
+        With ``rejoin`` the recovered replica immediately triggers a
+        reconfiguration back to the full deployment (protocols with the
+        reconfiguration capability only).
+        """
+        self._down.discard(replica_id)
+        server = self.servers[replica_id]
+        server.restart(self._state_machine_factory(replica_id))
+        replica = server.replica
+        if rejoin and getattr(replica, "reconfig", None) is not None:
+            server.driver._perform(replica.reconfig.trigger(tuple(self.spec.replica_ids)))
+
+    def partition(self, a: ReplicaId, b: ReplicaId) -> None:
+        """Hold back all traffic between *a* and *b* until healed.
+
+        Quasi-reliable (TCP) channel semantics: parked messages — whether
+        sent during the outage or already in flight when it started — are
+        re-delivered in send order by :meth:`heal`, never silently lost.
+        """
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: ReplicaId, b: ReplicaId) -> None:
+        self._partitions.discard(frozenset((a, b)))
+        self._release_parked(a, b)
+        self._release_parked(b, a)
+
+    def isolate(self, replica_id: ReplicaId) -> None:
+        """Partition *replica_id* from every other replica."""
+        for other in self.servers:
+            if other != replica_id:
+                self.partition(replica_id, other)
+
+    def heal_all(self) -> None:
+        for a, b in [tuple(pair) for pair in self._partitions]:
+            self.heal(a, b)
+
+    def clock_jump(self, replica_id: ReplicaId, delta: Micros) -> None:
+        """Step one replica's clock by *delta* µs (needs an adjustable clock)."""
+        clock = self.servers[replica_id].replica.clock
+        adjust = getattr(clock, "adjust", None)
+        if adjust is None:
+            raise ConfigurationError(
+                f"clock of replica {replica_id} ({type(clock).__name__}) "
+                "cannot be stepped; deploy it with an adjustable clock"
+            )
+        adjust(delta)
 
     # -- client helpers ------------------------------------------------------------------
 

@@ -51,6 +51,8 @@ class ReplicaServer:
     ) -> None:
         self.replica_id = replica_id
         self.spec = spec
+        self.protocol = protocol
+        self.protocol_config = protocol_config
         self.registry = registry or global_registry
         self.client_address = client_address
         self._client_server: Optional[asyncio.AbstractServer] = None
@@ -90,6 +92,37 @@ class ReplicaServer:
             )
         self.driver.start()
         _LOGGER.info("replica %s (%s) started", self.replica_id, self.replica.protocol_name)
+
+    def crash(self) -> None:
+        """Stop the replica abruptly: soft state is lost, the log survives.
+
+        Pending client futures are left unresolved (their submitters time
+        out), mirroring a process crash.  Use :meth:`restart` to bring the
+        replica back from its stable log.
+        """
+        self.driver.stop()
+
+    def restart(self, state_machine: StateMachine) -> None:
+        """Recover the crashed replica from its surviving log and restart it.
+
+        A fresh protocol replica replays the stable log into *state_machine*
+        (for protocols implementing recovery) and takes over the transport;
+        commands that commit after the restart still resolve their original
+        pending futures.
+        """
+        replica = create_replica(
+            self.protocol,
+            self.replica_id,
+            self.spec,
+            clock=self.replica.clock,
+            log=self.replica.log,
+            state_machine=state_machine,
+            config=self.protocol_config or ProtocolConfig(),
+            recover=True,
+        )
+        self.replica = replica
+        self.driver = AsyncReplicaDriver(replica, self.transport, on_reply=self._on_reply)
+        self.driver.start()
 
     async def stop(self) -> None:
         self.driver.stop()

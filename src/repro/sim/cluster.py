@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from ..clocks.base import Clock
-from ..clocks.physical import DriftingClock, PerfectClock, SkewedClock
+from ..clocks.physical import DriftingClock, SkewedClock
 from ..config import ClusterSpec, ProtocolConfig
 from ..errors import ConfigurationError
 from ..net.latency import LatencyMatrix
@@ -33,6 +33,9 @@ class ReplyEvent:
 
 
 ReplyCallback = Callable[[ReplyEvent], None]
+
+#: Callback signature for client submissions: (replica_id, command, time).
+SubmitCallback = Callable[[ReplicaId, Command, Micros], None]
 
 
 class SimulatedCluster:
@@ -84,6 +87,7 @@ class SimulatedCluster:
         self._state_machine_factory = state_machine_factory
         self._log_factory = log_factory
         self._reply_callbacks: list[ReplyCallback] = []
+        self._submit_callbacks: list[SubmitCallback] = []
         self.replies: list[ReplyEvent] = []
         self._command_seq = itertools.count(1)
 
@@ -114,9 +118,9 @@ class SimulatedCluster:
         drift = self._clock_drift.get(replica_id, 0.0)
         if drift:
             return DriftingClock(self.env, skew=offset, drift_ppm=drift)
-        if offset:
-            return SkewedClock(self.env, skew=offset)
-        return PerfectClock(self.env)
+        # A zero-skew SkewedClock reads identically to a PerfectClock but
+        # stays adjustable, so clock-jump faults can step any replica's clock.
+        return SkewedClock(self.env, skew=offset)
 
     def _build_replica(self, replica_id: ReplicaId, recover: bool = False) -> Replica:
         kwargs: dict[str, Any] = dict(
@@ -177,6 +181,10 @@ class SimulatedCluster:
         """Register a callback invoked for every committed client command."""
         self._reply_callbacks.append(callback)
 
+    def on_submit(self, callback: SubmitCallback) -> None:
+        """Register a callback invoked for every submitted client command."""
+        self._submit_callbacks.append(callback)
+
     def _on_reply(self, replica_id: ReplicaId, command_id: Any, output: Any, time: Micros) -> None:
         event = ReplyEvent(replica_id, command_id, output, time)
         self.replies.append(event)
@@ -194,6 +202,8 @@ class SimulatedCluster:
         self.start()
         if replica_id not in self.nodes:
             raise ConfigurationError(f"unknown replica {replica_id}")
+        for callback in self._submit_callbacks:
+            callback(replica_id, command, self.env.now)
         self.nodes[replica_id].submit_client_request(command)
         return command
 
@@ -235,6 +245,22 @@ class SimulatedCluster:
     def heal_all(self) -> None:
         self.network.heal_all()
 
+    def clock_jump(self, replica_id: ReplicaId, delta: Micros) -> None:
+        """Step one replica's physical clock by *delta* microseconds.
+
+        The replica's timestamp source stays monotonic, so a negative jump
+        freezes its outgoing timestamps until the clock catches up again —
+        exactly the failure mode a consistency check wants to provoke.
+        """
+        clock = self.clocks[replica_id]
+        adjust = getattr(clock, "adjust", None)
+        if adjust is None:  # pragma: no cover - every built clock is adjustable
+            raise ConfigurationError(
+                f"clock of replica {replica_id} ({type(clock).__name__}) "
+                "cannot be stepped"
+            )
+        adjust(delta)
+
     # ------------------------------------------------------------------
     # Consistency checking
     # ------------------------------------------------------------------
@@ -254,4 +280,4 @@ class SimulatedCluster:
                 )
 
 
-__all__ = ["SimulatedCluster", "ReplyEvent", "ReplyCallback"]
+__all__ = ["SimulatedCluster", "ReplyEvent", "ReplyCallback", "SubmitCallback"]

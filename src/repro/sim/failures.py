@@ -55,7 +55,18 @@ class ReconfigureEvent:
     new_config: tuple[ReplicaId, ...]
 
 
-FailureEvent = CrashEvent | RecoverEvent | PartitionEvent | ReconfigureEvent
+@dataclass(frozen=True, slots=True)
+class ClockJumpEvent:
+    """Step *replica_id*'s physical clock by *delta* µs at time *at*."""
+
+    at: Micros
+    replica_id: ReplicaId
+    delta: Micros
+
+
+FailureEvent = (
+    CrashEvent | RecoverEvent | PartitionEvent | ReconfigureEvent | ClockJumpEvent
+)
 
 
 class FailureSchedule:
@@ -84,6 +95,10 @@ class FailureSchedule:
         self.events.append(ReconfigureEvent(at, initiator, new_config))
         return self
 
+    def clock_jump(self, at: Micros, replica_id: ReplicaId, delta: Micros) -> "FailureSchedule":
+        self.events.append(ClockJumpEvent(at, replica_id, delta))
+        return self
+
     def install(self, cluster: SimulatedCluster) -> None:
         """Schedule every event on the cluster's simulation environment."""
         cluster.start()
@@ -106,6 +121,10 @@ class FailureSchedule:
         elif isinstance(event, ReconfigureEvent):
             cluster.env.schedule_at(
                 event.at, lambda e=event: self._reconfigure(cluster, e)
+            )
+        elif isinstance(event, ClockJumpEvent):
+            cluster.env.schedule_at(
+                event.at, lambda e=event: cluster.clock_jump(e.replica_id, e.delta)
             )
 
     @staticmethod
@@ -132,4 +151,5 @@ __all__ = [
     "RecoverEvent",
     "PartitionEvent",
     "ReconfigureEvent",
+    "ClockJumpEvent",
 ]

@@ -30,11 +30,25 @@ class NetworkOptions:
             (local) links.
         loss_probability: Probability of silently dropping a message
             (independently per message); 0 for all paper experiments.
+        partition_mode: What a partition does to traffic.  ``"drop"`` loses
+            messages silently (a hard fault, the historical behaviour);
+            ``"buffer"`` parks them and re-delivers after the partition
+            heals, matching the paper's quasi-reliable (TCP) channels where
+            an outage delays messages but correct endpoints eventually
+            receive them.  Messages to or from crashed replicas are always
+            dropped.
     """
 
     jitter_fraction: float = 0.0
     jitter_floor: Micros = 0
     loss_probability: float = 0.0
+    partition_mode: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.partition_mode not in ("drop", "buffer"):
+            raise ValueError(
+                f"unknown partition_mode {self.partition_mode!r}; 'drop' or 'buffer'"
+            )
 
 
 class SimulatedNetwork:
@@ -52,6 +66,14 @@ class SimulatedNetwork:
         self._handlers: dict[ReplicaId, Callable[[Envelope, Micros], None]] = {}
         self._partitions: set[frozenset[ReplicaId]] = set()
         self._down: set[ReplicaId] = set()
+        #: Messages held back by a partition in ``buffer`` mode, per channel
+        #: as (send sequence, envelope), released in send order on heal.  A
+        #: message may be parked at send time or — if it was already in
+        #: flight when the partition started — at delivery time; the send
+        #: sequence keeps the channel FIFO across both cases.
+        self._parked: dict[tuple[ReplicaId, ReplicaId], list[tuple[int, Envelope]]] = {}
+        #: Per-channel send sequence numbers (FIFO bookkeeping).
+        self._send_seq: dict[tuple[ReplicaId, ReplicaId], int] = {}
         #: Last scheduled delivery time per (src, dst), for FIFO enforcement.
         self._last_delivery: dict[tuple[ReplicaId, ReplicaId], Micros] = {}
         # Statistics.
@@ -77,6 +99,8 @@ class SimulatedNetwork:
 
     def heal(self, a: ReplicaId, b: ReplicaId) -> None:
         self._partitions.discard(frozenset((a, b)))
+        self._release_parked(a, b)
+        self._release_parked(b, a)
 
     def isolate(self, replica_id: ReplicaId) -> None:
         """Partition *replica_id* from every other replica."""
@@ -85,7 +109,19 @@ class SimulatedNetwork:
                 self.partition(replica_id, other)
 
     def heal_all(self) -> None:
+        pairs = [tuple(pair) for pair in self._partitions]
         self._partitions.clear()
+        for a, b in pairs:
+            self._release_parked(a, b)
+            self._release_parked(b, a)
+
+    def _park(self, envelope: Envelope, seq: int) -> None:
+        self._parked.setdefault((envelope.src, envelope.dst), []).append((seq, envelope))
+
+    def _release_parked(self, src: ReplicaId, dst: ReplicaId) -> None:
+        """Re-send messages a healed partition had held back, in send order."""
+        for seq, envelope in sorted(self._parked.pop((src, dst), [])):
+            self._schedule_delivery(envelope, self._env.now, seq)
 
     def set_down(self, replica_id: ReplicaId, down: bool) -> None:
         """Mark a node as crashed: messages to/from it are dropped."""
@@ -109,6 +145,20 @@ class SimulatedNetwork:
             return base
         return base + self._env.random.randint(0, jitter_bound)
 
+    def _handle_blocked(self, envelope: Envelope, seq: int) -> bool:
+        """Drop or park *envelope* if its channel is blocked; True if handled."""
+        src, dst = envelope.src, envelope.dst
+        if src in self._down or dst in self._down:
+            self.dropped_count += 1
+            return True
+        if frozenset((src, dst)) in self._partitions:
+            if self._options.partition_mode == "buffer":
+                self._park(envelope, seq)
+            else:
+                self.dropped_count += 1
+            return True
+        return False
+
     def send(self, envelope: Envelope, send_time: Optional[Micros] = None) -> None:
         """Schedule delivery of *envelope*.
 
@@ -117,29 +167,32 @@ class SimulatedNetwork:
         """
         self.sent_count += 1
         self.bytes_sent += envelope.size_hint
-        src, dst = envelope.src, envelope.dst
-        if self._blocked(src, dst):
-            self.dropped_count += 1
+        key = (envelope.src, envelope.dst)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        if self._handle_blocked(envelope, seq):
             return
         if self._options.loss_probability > 0.0:
             if self._env.random.random() < self._options.loss_probability:
                 self.dropped_count += 1
                 return
         departure = self._env.now if send_time is None else max(send_time, self._env.now)
-        delivery = departure + self.one_way_delay(src, dst)
+        self._schedule_delivery(envelope, departure, seq)
+
+    def _schedule_delivery(self, envelope: Envelope, departure: Micros, seq: int) -> None:
+        delivery = departure + self.one_way_delay(envelope.src, envelope.dst)
         # FIFO per channel: never deliver before a previously sent message.
-        key = (src, dst)
+        key = (envelope.src, envelope.dst)
         previous = self._last_delivery.get(key, 0)
         if delivery < previous:
             delivery = previous
         self._last_delivery[key] = delivery
-        self._env.schedule_at(delivery, lambda: self._deliver(envelope, delivery))
+        self._env.schedule_at(delivery, lambda: self._deliver(envelope, delivery, seq))
 
-    def _deliver(self, envelope: Envelope, delivery_time: Micros) -> None:
-        if self._blocked(envelope.src, envelope.dst):
+    def _deliver(self, envelope: Envelope, delivery_time: Micros, seq: int) -> None:
+        if self._handle_blocked(envelope, seq):
             # The destination crashed or was partitioned while the message
-            # was in flight.
-            self.dropped_count += 1
+            # was in flight (parked until heal in ``buffer`` mode).
             return
         handler = self._handlers.get(envelope.dst)
         if handler is None:

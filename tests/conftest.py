@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# A fully derandomized Hypothesis profile for the seeded CI job: example
+# generation is derived from each test's source rather than a random seed,
+# so the same checkout always runs the same examples.  Select it with
+# HYPOTHESIS_PROFILE=ci (see .github/workflows/ci.yml).
+hypothesis_settings.register_profile("ci", derandomize=True)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    hypothesis_settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 # Allow running the tests from a source checkout without installation.
 _SRC = Path(__file__).resolve().parent.parent / "src"

@@ -27,6 +27,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["latency", "--sites", "CA", "MOON"])
 
+    def test_check_arguments(self):
+        args = build_parser().parse_args(["check", "spec.toml", "--backend", "both"])
+        assert args.spec == "spec.toml"
+        assert args.backend == "both"
+        assert args.handler.__name__ == "cmd_check"
+
+    def test_check_command_verifies_a_small_spec(self, capsys, tmp_path):
+        from repro.experiment import ExperimentSpec, WorkloadSpec
+
+        spec = ExperimentSpec(
+            name="cli-check",
+            protocol="clock-rsm",
+            sites=("CA", "VA", "IR"),
+            workload=WorkloadSpec(clients_per_site=2, think_time_max_ms=30.0),
+            duration_s=0.6,
+            warmup_s=0.1,
+            seed=6,
+        )
+        path = tmp_path / "cli_check.json"
+        path.write_text(spec.to_json())
+        assert main(["check", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "linearizable" in output
+        assert "cli-check [sim] clock-rsm" in output
+
 
 class TestCommands:
     def test_numerical_command_prints_figure7_and_table4(self, capsys):

@@ -134,15 +134,36 @@ class TestSimBackend:
 
 
 class TestAsyncBackend:
-    def test_rejects_faults_and_cpu_models(self):
+    def test_rejects_cpu_models_and_unknown_fault_kinds(self):
+        # Fault schedules are supported on the async backend, but a fault
+        # kind it has no implementation for must be rejected at validation
+        # time, never silently dropped (see test_async_faults.py for the
+        # injection tests themselves).
+        from repro.experiment.async_backend import AsyncBackend
+        from repro.experiment import spec as spec_module
+
         with_faults = ExperimentSpec(
             name="f",
             protocol="clock-rsm",
             sites=("CA", "VA", "IR"),
             faults=(FaultSpec(kind="crash", at_s=0.1, site="CA"),),
         )
-        with pytest.raises(ConfigurationError, match="fault"):
-            Deployment(with_faults, backend="async").run()
+        AsyncBackend()._check_supported(with_faults)  # crash is supported
+
+        original_kinds = spec_module.FAULT_KINDS
+        spec_module.FAULT_KINDS = original_kinds + ("teleport",)
+        try:
+            futuristic = ExperimentSpec(
+                name="t",
+                protocol="clock-rsm",
+                sites=("CA", "VA", "IR"),
+                faults=(FaultSpec(kind="teleport", at_s=0.1, site="CA"),),
+            )
+        finally:
+            spec_module.FAULT_KINDS = original_kinds
+        with pytest.raises(ConfigurationError, match="teleport"):
+            Deployment(futuristic, backend="async").run()
+
         with_cpu = ExperimentSpec(
             name="c",
             protocol="clock-rsm",
