@@ -1,0 +1,120 @@
+"""Scale-out benchmark: aggregate throughput vs shard count.
+
+One replica group totally orders every command, so its throughput saturates
+at one core per site no matter the offered load — the single-total-order
+bottleneck the paper defers to state partitioning.  This benchmark measures
+the escape hatch: the same saturating workload (fixed total window,
+partitioned across shards) against 1/2/4/8 independent protocol groups over
+the same three sites, with the CPU cost model giving each shard process its
+own core.  Aggregate committed ops/s must grow monotonically from 1 to 4
+shards for both clock-rsm and mencius; the sweep goes to
+``benchmarks/results/BENCH_shard.json``.
+
+The workload is CPU-bound by construction (uniform 0.1 ms one-way delay,
+window 96 per site): a single group saturates its cores, so added shards
+add capacity rather than idle on network latency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiment import (
+    CpuSpec,
+    Deployment,
+    ExperimentSpec,
+    ShardingSpec,
+    WorkloadSpec,
+)
+
+from conftest import RESULTS_DIR
+
+SITES = ("S0", "S1", "S2")
+SHARD_COUNTS = (1, 2, 4, 8)
+PROTOCOLS = ("clock-rsm", "mencius")
+
+#: Heavier-than-default per-message costs: the same CPU-bound saturation
+#: shape at roughly half the simulated event volume (suite wall time).
+CPU = CpuSpec(
+    recv_fixed=12.0,
+    recv_per_byte=0.012,
+    send_fixed=12.0,
+    send_per_byte=0.012,
+    client_fixed=4.0,
+)
+
+
+def sharded_spec(protocol: str, shards: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"shard-sweep-{protocol}-{shards}",
+        protocol=protocol,
+        sites=SITES,
+        latency="uniform",
+        one_way_ms=0.1,
+        jitter_fraction=0.02,
+        workload=WorkloadSpec(
+            scenario="saturating",
+            outstanding_per_site=96,  # total window, partitioned across shards
+            payload_size=64,
+            app="null",
+        ),
+        cpu=CPU,
+        duration_s=0.15,
+        warmup_s=0.04,
+        seed=11,
+        sharding=ShardingSpec(shards=shards) if shards > 1 else None,
+    )
+
+
+def test_bench_shard(report_sink):
+    series: dict[str, list[dict]] = {}
+    wall_start = time.perf_counter()
+    for protocol in PROTOCOLS:
+        points = []
+        for shards in SHARD_COUNTS:
+            result = Deployment(sharded_spec(protocol, shards)).run()
+            points.append(
+                {
+                    "shards": shards,
+                    "kops": round(result.throughput_kops, 1),
+                    "total_committed": result.total_committed,
+                    "per_shard_kops": (
+                        [
+                            round(shard.throughput_kops, 1)
+                            for shard in result.shards
+                        ]
+                        if result.shards is not None
+                        else [round(result.throughput_kops, 1)]
+                    ),
+                }
+            )
+        for point in points:
+            point["speedup"] = round(point["kops"] / points[0]["kops"], 2)
+        series[protocol] = points
+
+        # The acceptance claim: scaling out is monotone through 4 shards
+        # (and does not regress at 8).
+        kops = {point["shards"]: point["kops"] for point in points}
+        assert kops[1] < kops[2] < kops[4], (protocol, kops)
+        assert kops[8] >= 0.98 * kops[4], (protocol, kops)
+
+    payload = {
+        "name": "shard",
+        "backend": "sim",
+        "sites": list(SITES),
+        "workload": "saturating, window 96/site total, 64 B null ops, CPU-bound",
+        "shard_counts": list(SHARD_COUNTS),
+        "series": series,
+        "wall_s": round(time.perf_counter() - wall_start, 1),
+    }
+    (RESULTS_DIR / "BENCH_shard.json").write_text(json.dumps(payload, indent=2))
+
+    lines = []
+    for protocol, points in series.items():
+        row = "  ".join(
+            f"{point['shards']}sh:{point['kops']:.0f}kops(x{point['speedup']})"
+            for point in points
+        )
+        lines.append(f"{protocol:12s} {row}")
+    report_sink("BENCH_shard", "\n".join(lines))

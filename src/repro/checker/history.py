@@ -171,6 +171,13 @@ class OpHistory:
         """Record the per-replica state-machine apply orders (end of run)."""
         self.apply_orders = {rid: tuple(order) for rid, order in orders.items()}
 
+    def add(self, record: OpRecord) -> None:
+        """Append an existing record (splitting/merging histories)."""
+        if record.command_id in self._index:
+            return
+        self._index[record.command_id] = len(self.ops)
+        self.ops.append(record)
+
     # -- inspection ----------------------------------------------------------
 
     def __len__(self) -> int:

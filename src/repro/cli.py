@@ -4,7 +4,9 @@ Exposes the benchmark harness without pytest::
 
     python -m repro.cli run examples/specs/fig1_balanced_5.toml
     python -m repro.cli run examples/specs/fig1_balanced_5.toml --backend async
+    python -m repro.cli run examples/specs/fig1_balanced_5.toml --shards 4
     python -m repro.cli check examples/specs/crash_leaderless_commit.toml
+    python -m repro.cli protocols
     python -m repro.cli latency --sites CA VA IR JP SG --leader VA
     python -m repro.cli imbalanced --sites CA VA IR JP SG --leader CA
     python -m repro.cli throughput --sizes 10 100 1000
@@ -14,9 +16,14 @@ Exposes the benchmark harness without pytest::
 ``run`` executes a declarative :class:`~repro.experiment.ExperimentSpec`
 file (TOML or JSON) on either backend; ``check`` additionally records the
 operation history and verifies it is linearizable (exit status 1 when it is
-not); the ``latency`` / ``imbalanced`` / ``throughput`` subcommands build
-the same specs internally and run them through
-:class:`~repro.experiment.Deployment`.
+not); ``protocols`` prints the registry's capability table; the ``latency``
+/ ``imbalanced`` / ``throughput`` subcommands build the same specs
+internally and run them through :class:`~repro.experiment.Deployment`.
+
+The protocol, scenario, and backend listings in the ``--help`` output are
+generated from the live registries (:mod:`repro.protocols.registry`,
+:mod:`repro.workload.scenarios`, :data:`repro.experiment.BACKENDS`), so a
+newly registered protocol or scenario shows up without touching this file.
 
 Installed as the ``clock-rsm-repro`` console script.
 """
@@ -26,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from .analysis.comparison import best_paxos_bcast_leader, compare_group
@@ -44,8 +52,21 @@ from .bench.reporting import (
 )
 from .bench.throughput import run_throughput_comparison
 from .errors import ReproError
-from .experiment import BACKENDS, Deployment, ExperimentSpec, check_spec
+from .experiment import BACKENDS, Deployment, ExperimentSpec, ShardingSpec, check_spec
+from .protocols.registry import CAPABILITIES, available_protocols
 from .types import seconds_to_micros
+
+
+def _registry_epilog() -> str:
+    """Help-text listing of the live registries (never hard-coded prose)."""
+    from .workload.scenarios import SCENARIO_BUILDERS
+
+    return (
+        f"protocols: {', '.join(available_protocols())}\n"
+        f"workload scenarios: {', '.join(sorted(SCENARIO_BUILDERS))}\n"
+        f"backends: {', '.join(sorted(BACKENDS))}\n"
+        "(see `clock-rsm-repro protocols` for the capability table)"
+    )
 
 
 def _add_site_arguments(parser: argparse.ArgumentParser, default_sites: Sequence[str]) -> None:
@@ -95,10 +116,23 @@ def _latency_config(args: argparse.Namespace, balanced: bool, origin: Optional[s
 # ---------------------------------------------------------------------------
 
 
+def _apply_shards(spec: ExperimentSpec, shards: Optional[int]) -> ExperimentSpec:
+    """Apply a ``--shards`` override to a loaded spec.
+
+    The spec's per-shard overrides are kept as written: shrinking the count
+    below an override's index is a :class:`ConfigurationError` (reported as
+    ``error: ...``), never a silently dropped override.
+    """
+    if shards is None:
+        return spec
+    base = spec.sharding or ShardingSpec()
+    return replace(spec, sharding=replace(base, shards=shards))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a declarative experiment spec file on the chosen backend."""
     try:
-        spec = ExperimentSpec.from_file(args.spec)
+        spec = _apply_shards(ExperimentSpec.from_file(args.spec), args.shards)
         options = {"time_scale": args.time_scale} if args.backend == "async" else {}
         result = Deployment(spec, backend=args.backend, **options).run()
     except ReproError as exc:
@@ -106,15 +140,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
+    shard_count = len(result.shards) if result.shards is not None else 1
+    sharded = f", {shard_count} shards" if shard_count > 1 else ""
     title = (
         f"{result.name}: {result.protocol} on the {result.backend} backend, "
-        f"{result.duration_s:g} s measured"
+        f"{result.duration_s:g} s measured{sharded}"
     )
     print(format_table(result.per_site_rows(), title))
     print(
         f"total committed: {result.total_committed} "
         f"({result.throughput_kops:.1f} kop/s)"
     )
+    if result.shards is not None:
+        for index, shard_result in enumerate(result.shards):
+            print(
+                f"  shard {index} [{shard_result.protocol}]: "
+                f"{shard_result.total_committed} committed "
+                f"({shard_result.throughput_kops:.1f} kop/s)"
+            )
     return 0
 
 
@@ -124,7 +167,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     exit_code = 0
     runs = []
     try:
-        spec = ExperimentSpec.from_file(args.spec)
+        spec = _apply_shards(ExperimentSpec.from_file(args.spec), args.shards)
         for backend in backends:
             options = (
                 {"time_scale": args.time_scale, "submit_timeout": args.submit_timeout}
@@ -143,6 +186,23 @@ def cmd_check(args: argparse.Namespace) -> int:
         for run in runs:
             print(run.describe())
     return exit_code
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    """Print the protocol registry's capability table."""
+    yes = lambda flag: "yes" if flag else "-"
+    rows = [
+        {
+            "protocol": caps.name,
+            "leader_based": yes(caps.leader_based),
+            "needs_clocks": yes(caps.needs_clocks),
+            "broadcast": yes(caps.broadcast_variant),
+            "reconfiguration": yes(caps.supports_reconfiguration),
+        }
+        for _name, caps in sorted(CAPABILITIES.items())
+    ]
+    print(format_table(rows, "Registered protocols and their capabilities"))
+    return 0
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -225,14 +285,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    epilog = _registry_epilog()
+
     run = subparsers.add_parser(
-        "run", help="run a declarative experiment spec file (.toml / .json)"
+        "run", help="run a declarative experiment spec file (.toml / .json)",
+        epilog=epilog, formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     run.add_argument("spec", help="path to an ExperimentSpec file")
     run.add_argument("--backend", default="sim", choices=sorted(BACKENDS),
-                     help="sim = discrete-event simulator, async = live asyncio runtime")
+                     help="experiment backend (see the listing below)")
     run.add_argument("--time-scale", type=float, default=20.0,
                      help="async backend: divide delays and durations by this factor")
+    run.add_argument("--shards", type=int, default=None,
+                     help="override the spec's [sharding] shard count "
+                          "(deploys N independent protocol groups)")
     run.add_argument("--json", action="store_true",
                      help="print the full result as JSON instead of a table")
     run.set_defaults(handler=cmd_run)
@@ -240,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     check = subparsers.add_parser(
         "check",
         help="run a spec with history recording and verify linearizability",
+        epilog=epilog, formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     check.add_argument("spec", help="path to an ExperimentSpec file")
     check.add_argument("--backend", default="sim",
@@ -249,9 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="async backend: divide delays and durations by this factor")
     check.add_argument("--submit-timeout", type=float, default=5.0,
                        help="async backend: per-command commit timeout in seconds")
+    check.add_argument("--shards", type=int, default=None,
+                       help="override the spec's [sharding] shard count "
+                            "(checks per-shard linearizability)")
     check.add_argument("--json", action="store_true",
                        help="print results and verdicts as JSON")
     check.set_defaults(handler=cmd_check)
+
+    protocols = subparsers.add_parser(
+        "protocols", help="print the registered protocols and their capabilities"
+    )
+    protocols.set_defaults(handler=cmd_protocols)
 
     latency = subparsers.add_parser("latency", help="balanced-workload latency comparison")
     _add_site_arguments(latency, ("CA", "VA", "IR", "JP", "SG"))

@@ -25,11 +25,14 @@ from .spec import (
     APPS,
     CLOCK_KINDS,
     FAULT_KINDS,
+    PLACEMENTS,
     SCENARIOS,
     ClockSpec,
     CpuSpec,
     ExperimentSpec,
     FaultSpec,
+    ShardingSpec,
+    ShardOverride,
     WorkloadSpec,
 )
 
@@ -37,6 +40,7 @@ __all__ = [
     "APPS",
     "CLOCK_KINDS",
     "FAULT_KINDS",
+    "PLACEMENTS",
     "SCENARIOS",
     "BACKENDS",
     "CheckedRun",
@@ -47,6 +51,8 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FaultSpec",
+    "ShardingSpec",
+    "ShardOverride",
     "SiteResult",
     "WorkloadSpec",
     "run_comparison",

@@ -201,9 +201,15 @@ class AsyncBackend:
     # ------------------------------------------------------------------
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
-        return asyncio.run(self._run(spec))
+        return asyncio.run(self.run_in_loop(spec))
 
-    async def _run(self, spec: ExperimentSpec) -> ExperimentResult:
+    async def run_in_loop(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Run one spec inside the current event loop.
+
+        Several invocations can be gathered concurrently in one loop — each
+        builds its own cluster and client tasks — which is how sharded
+        deployments run their groups side by side.
+        """
         cluster = self.build_cluster(spec)  # validates backend support
         workload = spec.workload
         cluster_spec = spec.cluster_spec()
@@ -233,7 +239,9 @@ class AsyncBackend:
             rng = random.Random(spec.seed * 1_000_003 + rid * 1_009 + index)
             think_min = workload.think_time_min_ms / 1_000.0 / self.time_scale
             think_max = workload.think_time_max_ms / 1_000.0 / self.time_scale
-            name = f"{site}/async{index}"
+            # Scoped by the spec name so concurrent deployments in one loop
+            # (sharded runs) never produce colliding client ids.
+            name = f"{spec.name}/{site}/async{index}"
             # Loop on the stop event rather than relying on cancellation:
             # Python 3.11's wait_for can swallow a cancellation that races
             # with the commit future resolving, which would leave this loop

@@ -2,15 +2,19 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 from ..checker.history import HistoryRecorder
 from ..metrics.stats import LatencySummary
 from ..sim.cluster import SimulatedCluster
+from ..sim.environment import SimulationEnvironment
 from ..sim.failures import FailureSchedule
 from ..sim.network import NetworkOptions
 from ..sim.node import CpuModel
 from ..types import ReplicaId, ms_to_micros, seconds_to_micros
 from ..workload.apps import state_machine_factory
-from ..workload.scenarios import build_workload
+from ..workload.scenarios import WorkloadHandle, build_workload
 from .result import ExperimentResult, SiteResult
 from .spec import CpuSpec, ExperimentSpec, FaultSpec
 
@@ -56,12 +60,31 @@ def _fault_schedule(spec: ExperimentSpec) -> FailureSchedule:
     return schedule
 
 
+@dataclass
+class PreparedSimRun:
+    """One cluster with its workload and faults armed, awaiting the clock.
+
+    :meth:`SimBackend.prepare` returns one of these; running the (possibly
+    shared) simulation environment for the spec's total runtime and calling
+    :meth:`SimBackend.collect` turns it into an :class:`ExperimentResult`.
+    Sharded deployments prepare several of these on a single environment so
+    the shard groups' events interleave in one virtual timeline.
+    """
+
+    spec: ExperimentSpec
+    cluster: SimulatedCluster
+    handle: WorkloadHandle
+    recorder: Optional[HistoryRecorder]
+
+
 class SimBackend:
     """Runs experiments inside the deterministic discrete-event simulator."""
 
     name = "sim"
 
-    def build_cluster(self, spec: ExperimentSpec) -> SimulatedCluster:
+    def build_cluster(
+        self, spec: ExperimentSpec, env: Optional[SimulationEnvironment] = None
+    ) -> SimulatedCluster:
         """Wire the cluster a spec describes (without workload or faults)."""
         return SimulatedCluster(
             spec.cluster_spec(),
@@ -79,15 +102,23 @@ class SimBackend:
             clock_drift_ppm=spec.clock_drift_ppm(),
             cpu_model=_cpu_model(spec.cpu) if spec.cpu is not None else None,
             state_machine_factory=state_machine_factory(spec.workload.app),
+            env=env,
         )
 
-    def run(self, spec: ExperimentSpec) -> ExperimentResult:
-        cluster = self.build_cluster(spec)
+    def prepare(
+        self, spec: ExperimentSpec, env: Optional[SimulationEnvironment] = None
+    ) -> PreparedSimRun:
+        """Build the cluster and arm workload, history capture, and faults."""
+        cluster = self.build_cluster(spec, env=env)
         recorder = HistoryRecorder(cluster) if spec.record_history else None
         handle = build_workload(cluster, spec.workload, warmup=spec.warmup_micros)
         if spec.faults:
             _fault_schedule(spec).install(cluster)
-        cluster.run_for(spec.total_runtime_micros)
+        return PreparedSimRun(spec=spec, cluster=cluster, handle=handle, recorder=recorder)
+
+    def collect(self, prepared: PreparedSimRun) -> ExperimentResult:
+        """Stop the workload and summarize one finished run."""
+        spec, cluster, handle = prepared.spec, prepared.cluster, prepared.handle
         handle.stop()
         if not spec.faults:
             # Fault schedules may leave replicas crashed or partitioned
@@ -135,8 +166,15 @@ class SimBackend:
             throughput_kops=total / spec.duration_s / 1_000.0,
             replica_metrics=replica_metrics,
             metadata={"seed": spec.seed, "simulated_s": spec.warmup_s + spec.duration_s},
-            history=recorder.finish() if recorder is not None else None,
+            history=(
+                prepared.recorder.finish() if prepared.recorder is not None else None
+            ),
         )
 
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        prepared = self.prepare(spec)
+        prepared.cluster.run_for(spec.total_runtime_micros)
+        return self.collect(prepared)
 
-__all__ = ["SimBackend"]
+
+__all__ = ["PreparedSimRun", "SimBackend"]

@@ -43,6 +43,9 @@ CLOCK_KINDS: tuple[str, ...] = ("perfect", "skewed", "drifting")
 #: Fault event kinds understood by both experiment backends.
 FAULT_KINDS: tuple[str, ...] = ("crash", "recover", "partition", "isolate", "clock-jump")
 
+#: Key→shard placement strategies (see :mod:`repro.shard.router`).
+PLACEMENTS: tuple[str, ...] = ("hash", "range")
+
 
 @dataclass(frozen=True, slots=True)
 class ClockSpec:
@@ -155,6 +158,95 @@ class FaultSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class ShardOverride:
+    """Per-shard deviations from the base spec (seed and/or protocol).
+
+    ``shard`` is the zero-based shard index the override applies to.  An
+    override with neither a ``seed`` nor a ``protocol`` would be a silent
+    no-op, so it is rejected.
+    """
+
+    shard: int
+    seed: Optional[int] = None
+    protocol: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shard, int) or isinstance(self.shard, bool):
+            raise ConfigurationError(
+                f"override shard index must be an integer, got {self.shard!r}"
+            )
+        if self.shard < 0:
+            raise ConfigurationError(
+                f"override shard index must be >= 0, got {self.shard}"
+            )
+        if self.seed is None and self.protocol is None:
+            raise ConfigurationError(
+                f"override for shard {self.shard} sets neither seed nor protocol"
+            )
+        if self.protocol is not None:
+            protocol_capabilities(self.protocol)  # raises on unknown protocols
+
+
+@dataclass(frozen=True, slots=True)
+class ShardingSpec:
+    """Partition the keyspace over N independent protocol groups.
+
+    Every shard deploys the full site list as its own replica group (its own
+    total order); clients are routed by key, so each key lives on exactly one
+    shard.  ``placement`` selects the key→shard function: ``hash`` spreads
+    keys uniformly (CRC-32 of the key), ``range`` preserves lexicographic
+    locality (contiguous key ranges per shard).  ``overrides`` lets single
+    shards deviate from the base spec's seed or protocol.
+    """
+
+    shards: int = 1
+    placement: str = "hash"
+    overrides: tuple[ShardOverride, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", tuple(self.overrides))
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ConfigurationError(f"shards must be an integer, got {self.shards!r}")
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; one of {PLACEMENTS}"
+            )
+        seen: set[int] = set()
+        for override in self.overrides:
+            if override.shard >= self.shards:
+                raise ConfigurationError(
+                    f"override names shard {override.shard}, but only "
+                    f"{self.shards} shards are deployed"
+                )
+            if override.shard in seen:
+                raise ConfigurationError(
+                    f"duplicate overrides for shard {override.shard}"
+                )
+            seen.add(override.shard)
+
+    def override_for(self, shard: int) -> Optional[ShardOverride]:
+        for override in self.overrides:
+            if override.shard == shard:
+                return override
+        return None
+
+    def seed_for(self, shard: int, base_seed: int) -> int:
+        """The seed of one shard group: base + shard unless overridden."""
+        override = self.override_for(shard)
+        if override is not None and override.seed is not None:
+            return override.seed
+        return base_seed + shard
+
+    def protocol_for(self, shard: int, base_protocol: str) -> str:
+        override = self.override_for(shard)
+        if override is not None and override.protocol is not None:
+            return override.protocol
+        return base_protocol
+
+
+@dataclass(frozen=True, slots=True)
 class CpuSpec:
     """Optional CPU/batching cost model (throughput experiments)."""
 
@@ -193,6 +285,9 @@ class ExperimentSpec:
     #: Record an operation history (invoke/ok/fail events plus per-replica
     #: apply orders) into the result, for :mod:`repro.checker`.
     record_history: bool = False
+    #: Partition the keyspace over independent protocol groups
+    #: (see :mod:`repro.shard`); ``None`` deploys a single group.
+    sharding: Optional[ShardingSpec] = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -252,6 +347,16 @@ class ExperimentSpec:
                 f"protocol {self.protocol!r} does not support reconfiguration; "
                 "recover faults cannot use rejoin=true"
             )
+        if self.sharding is not None and wants_rejoin:
+            for override in self.sharding.overrides:
+                if override.protocol is not None and not protocol_capabilities(
+                    override.protocol
+                ).supports_reconfiguration:
+                    raise ConfigurationError(
+                        f"shard {override.shard} overrides the protocol to "
+                        f"{override.protocol!r}, which does not support "
+                        "reconfiguration; recover faults cannot use rejoin=true"
+                    )
 
         # Cross-references between sections and the site list.
         for site, _clock in self.clocks:
@@ -381,6 +486,21 @@ class ExperimentSpec:
             data["cdf_sites"] = list(self.cdf_sites)
         if self.record_history:
             data["record_history"] = True
+        if self.sharding is not None:
+            table: dict[str, Any] = {
+                "shards": self.sharding.shards,
+                "placement": self.sharding.placement,
+            }
+            if self.sharding.overrides:
+                table["overrides"] = [
+                    {
+                        key: value
+                        for key, value in asdict(override).items()
+                        if value is not None
+                    }
+                    for override in self.sharding.overrides
+                ]
+            data["sharding"] = table
         # TOML has no null: drop None-valued optional keys everywhere (and
         # the clock-jump-only offset_ms when it is at its 0.0 default).
         data["workload"] = {
@@ -404,7 +524,7 @@ class ExperimentSpec:
             "name", "protocol", "sites", "leader_site", "latency", "one_way_ms",
             "jitter_fraction", "clocks", "workload", "faults", "cpu",
             "duration_s", "warmup_s", "seed", "clocktime_interval_ms",
-            "wait_for_clock", "cdf_sites", "record_history",
+            "wait_for_clock", "cdf_sites", "record_history", "sharding",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -414,7 +534,8 @@ class ExperimentSpec:
                 raise ConfigurationError(f"experiment spec needs a {required!r} key")
         kwargs: dict[str, Any] = {
             key: data[key]
-            for key in known - {"sites", "clocks", "workload", "faults", "cpu", "cdf_sites"}
+            for key in known
+            - {"sites", "clocks", "workload", "faults", "cpu", "cdf_sites", "sharding"}
             if key in data
         }
         kwargs["sites"] = tuple(data["sites"])
@@ -438,6 +559,8 @@ class ExperimentSpec:
         )
         if "cpu" in data:
             kwargs["cpu"] = _build(CpuSpec, data["cpu"], "cpu")
+        if "sharding" in data:
+            kwargs["sharding"] = _build_sharding(data["sharding"])
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -476,6 +599,31 @@ class ExperimentSpec:
         return cls.from_dict(data)
 
 
+def _build_sharding(data: Any) -> ShardingSpec:
+    """Build a :class:`ShardingSpec` (with nested overrides) from a mapping."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"sharding must be a table/mapping, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - {"shards", "placement", "overrides"})
+    if unknown:
+        raise ConfigurationError(f"unknown keys in sharding: {unknown}")
+    overrides = data.get("overrides", [])
+    if not isinstance(overrides, Sequence) or isinstance(overrides, (str, bytes)):
+        raise ConfigurationError("sharding.overrides must be a list of tables")
+    kwargs: dict[str, Any] = {
+        key: data[key] for key in ("shards", "placement") if key in data
+    }
+    kwargs["overrides"] = tuple(
+        _build(ShardOverride, entry, f"sharding.overrides[{index}]")
+        for index, entry in enumerate(overrides)
+    )
+    try:
+        return ShardingSpec(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"invalid value in sharding: {exc}") from exc
+
+
 def _build(cls: type, data: Any, where: str) -> Any:
     """Instantiate a nested spec dataclass from a mapping with key checking."""
     if not isinstance(data, Mapping):
@@ -495,9 +643,12 @@ __all__ = [
     "APPS",
     "CLOCK_KINDS",
     "FAULT_KINDS",
+    "PLACEMENTS",
     "ClockSpec",
     "WorkloadSpec",
     "FaultSpec",
     "CpuSpec",
+    "ShardOverride",
+    "ShardingSpec",
     "ExperimentSpec",
 ]

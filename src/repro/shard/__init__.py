@@ -1,0 +1,33 @@
+"""Sharded keyspace deployments: N independent protocol groups, one keyspace.
+
+Clock-RSM totally orders *all* commands through one replica group, so a
+single deployment's throughput is capped by one total order no matter how
+many clients submit.  This package opens the scale-out axis the paper defers
+to state partitioning: an experiment spec with a ``[sharding]`` table deploys
+``shards`` independent protocol groups over the same site list, a
+key→shard :class:`ShardRouter` keeps every key on exactly one group, and the
+:class:`ShardedDeployment` runs the groups on either backend (simulator:
+all groups interleaved on one scheduler; asyncio: concurrent clusters in one
+event loop) and aggregates the per-shard results.
+
+Consistency checking composes: linearizability is per-key local, and the
+router guarantees per-key single-shard residency, so each shard's history is
+checked independently, plus a cross-shard sanity pass that each client's
+operations stayed sequential (see :mod:`repro.shard.check`).
+"""
+
+from .check import ShardedCheckReport, check_sharded_spec, client_order_violation
+from .client import ShardedKVClient
+from .deployment import ShardedDeployment, aggregate_results, shard_subspecs
+from .router import ShardRouter
+
+__all__ = [
+    "ShardRouter",
+    "ShardedKVClient",
+    "ShardedDeployment",
+    "ShardedCheckReport",
+    "aggregate_results",
+    "shard_subspecs",
+    "check_sharded_spec",
+    "client_order_violation",
+]

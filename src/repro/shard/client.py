@@ -1,0 +1,120 @@
+"""A key-value client spanning every shard of a sharded simulation.
+
+:class:`ShardedKVClient` gives scripts and tests the same synchronous
+``put``/``get``/``delete`` API as :class:`~repro.kvstore.client.SimKVClient`,
+but against N shard groups at once: each single-key operation is routed to
+the shard that owns the key, and :meth:`get_many` fans a multi-key read out
+shard by shard and merges the per-shard reads back into one mapping.
+
+All operations can be recorded into one shared
+:class:`~repro.checker.history.OpHistory`; because the router keeps every
+key on exactly one shard, that history splits cleanly per shard for
+linearizability checking (see :func:`repro.shard.check.split_history`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from ..checker.history import OpHistory
+from ..errors import ConfigurationError
+from ..kvstore.client import SimKVClient
+from ..sim.cluster import SimulatedCluster
+from ..types import Micros, ReplicaId, seconds_to_micros
+from .router import ShardRouter
+
+
+class ShardedKVClient:
+    """Routes key-value commands across the shard groups of one deployment.
+
+    Args:
+        clusters: One simulated cluster per shard, in shard order.  The
+            clusters should share one simulation environment (as built by
+            :class:`~repro.shard.deployment.ShardedDeployment`); each
+            operation advances that shared virtual time until its commit.
+        router: The key→shard router; defaults to hash placement over
+            ``len(clusters)`` shards.
+        replica_id: The replica (site index) this client submits to, on
+            every shard group.
+        history: Record every operation into this history for checking.
+
+    The whole sharded client is ONE logical client: every per-shard
+    sub-client shares one name and one sequence-number stream, so a recorded
+    history shows a single sequential client whose operations span shards —
+    which is exactly what the cross-shard client-order pass of
+    :func:`repro.shard.check.client_order_violation` verifies.
+    """
+
+    _client_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        clusters: Sequence[SimulatedCluster],
+        router: Optional[ShardRouter] = None,
+        replica_id: ReplicaId = 0,
+        timeout: Micros = seconds_to_micros(30.0),
+        history: Optional[OpHistory] = None,
+    ) -> None:
+        if not clusters:
+            raise ConfigurationError("a sharded client needs at least one cluster")
+        self.router = router if router is not None else ShardRouter(len(clusters))
+        if self.router.shards != len(clusters):
+            raise ConfigurationError(
+                f"router expects {self.router.shards} shards, got "
+                f"{len(clusters)} clusters"
+            )
+        self.history = history
+        self.name = f"sharded-kv-{next(self._client_ids)}@r{replica_id}"
+        shared_seq = itertools.count(1)
+        self._clients = [
+            SimKVClient(
+                cluster,
+                replica_id,
+                timeout=timeout,
+                history=history,
+                name=self.name,
+                seq=shared_seq,
+            )
+            for cluster in clusters
+        ]
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self.router.shards
+
+    def client_for(self, key: str) -> SimKVClient:
+        """The per-shard client owning *key*."""
+        return self._clients[self.router.shard_of(key)]
+
+    def put(self, key: str, value: bytes) -> Optional[bytes]:
+        """Replicate a PUT on the owning shard; returns the previous value."""
+        return self.client_for(key).put(key, value)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Replicate a linearizable GET on the owning shard."""
+        return self.client_for(key).get(key)
+
+    def delete(self, key: str) -> bool:
+        """Replicate a DELETE on the owning shard; returns whether it existed."""
+        return self.client_for(key).delete(key)
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, Optional[bytes]]:
+        """Read several keys, merging the per-shard reads into one mapping.
+
+        Keys are grouped by owning shard and each group is read through that
+        shard's protocol, so every individual read is linearizable on its
+        shard; the merged mapping is *not* a cross-shard snapshot (no global
+        total order exists across shards — that is the trade sharding makes).
+        """
+        merged: dict[str, Optional[bytes]] = {}
+        for shard, group in self.router.partition(list(keys)).items():
+            client = self._clients[shard]
+            for key in group:
+                merged[key] = client.get(key)
+        return merged
+
+
+__all__ = ["ShardedKVClient"]

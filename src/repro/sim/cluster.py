@@ -56,6 +56,10 @@ class SimulatedCluster:
             (defaults to :class:`~repro.statemachine.AppendLogStateMachine`).
         log_factory: Builds each replica's stable log (defaults to
             :class:`~repro.storage.memory_log.InMemoryLog`).
+        env: Share an existing simulation environment instead of creating a
+            fresh one; several clusters on one environment interleave their
+            events in one virtual timeline (sharded deployments).  ``seed``
+            is ignored when an environment is supplied.
     """
 
     def __init__(
@@ -72,6 +76,7 @@ class SimulatedCluster:
         cpu_model: Optional[CpuModel] = None,
         state_machine_factory: Callable[[ReplicaId], StateMachine] = lambda _rid: AppendLogStateMachine(),
         log_factory: Callable[[ReplicaId], CommandLog] = lambda _rid: InMemoryLog(),
+        env: Optional[SimulationEnvironment] = None,
     ) -> None:
         if tuple(latency.sites) != tuple(spec.sites):
             latency = latency.restricted_to(spec.sites)
@@ -79,7 +84,7 @@ class SimulatedCluster:
         self.latency = latency
         self.protocol = protocol
         self.protocol_config = protocol_config or ProtocolConfig()
-        self.env = SimulationEnvironment(seed=seed)
+        self.env = env if env is not None else SimulationEnvironment(seed=seed)
         self.network = SimulatedNetwork(self.env, latency, network_options)
         self.cpu_model = cpu_model
         self._clock_offsets = dict(clock_offsets or {})

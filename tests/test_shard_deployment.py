@@ -1,0 +1,358 @@
+"""Sharded deployments: fan-out semantics, both backends, checking, CLI."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.checker.history import OpHistory
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiment import (
+    Deployment,
+    ExperimentSpec,
+    FaultSpec,
+    ShardingSpec,
+    ShardOverride,
+    WorkloadSpec,
+    check_spec,
+    run_spec,
+)
+from repro.shard import ShardRouter, ShardedKVClient
+from repro.shard.check import ShardedCheckReport, client_order_violation
+from repro.shard.deployment import ShardedDeployment, shard_subspecs
+from repro.types import CommandId
+
+
+def sharded(shards=2, **kwargs) -> ExperimentSpec:
+    defaults = dict(
+        name="shard-test",
+        protocol="clock-rsm",
+        sites=("CA", "VA", "IR"),
+        workload=WorkloadSpec(clients_per_site=4, think_time_max_ms=30.0),
+        duration_s=0.8,
+        warmup_s=0.2,
+        seed=5,
+        sharding=ShardingSpec(shards=shards),
+    )
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+class TestSubspecFanOut:
+    def test_partitions_the_client_population(self):
+        spec = sharded(shards=3, workload=WorkloadSpec(clients_per_site=8))
+        subs = shard_subspecs(spec)
+        assert [sub.workload.clients_per_site for sub in subs] == [3, 3, 2]
+        assert sum(sub.workload.clients_per_site for sub in subs) == 8
+
+    def test_every_shard_gets_at_least_one_client(self):
+        spec = sharded(shards=4, workload=WorkloadSpec(clients_per_site=2))
+        assert [s.workload.clients_per_site for s in shard_subspecs(spec)] == [1, 1, 1, 1]
+
+    def test_names_seeds_and_sharding_stripped(self):
+        subs = shard_subspecs(sharded(shards=2, seed=10))
+        assert [sub.name for sub in subs] == ["shard-test/shard0", "shard-test/shard1"]
+        assert [sub.seed for sub in subs] == [10, 11]
+        assert all(sub.sharding is None for sub in subs)
+
+    def test_overrides_apply(self):
+        spec = sharded(
+            shards=3,
+            sharding=ShardingSpec(
+                shards=3,
+                overrides=(
+                    ShardOverride(shard=1, seed=77),
+                    ShardOverride(shard=2, protocol="paxos"),
+                ),
+            ),
+        )
+        subs = shard_subspecs(spec)
+        assert subs[1].seed == 77
+        assert subs[2].protocol == "paxos"
+        # with_protocol gives the leader-based override a default leader.
+        assert subs[2].leader_site == "CA"
+        assert subs[0].protocol == subs[1].protocol == "clock-rsm"
+
+    def test_faults_apply_to_every_shard(self):
+        fault = FaultSpec(kind="crash", at_s=0.5, site="IR")
+        subs = shard_subspecs(sharded(shards=2, faults=(fault,)))
+        assert all(sub.faults == (fault,) for sub in subs)
+
+    def test_single_group_spec_passes_through(self):
+        spec = sharded(shards=1)
+        subs = shard_subspecs(spec)
+        assert len(subs) == 1 and subs[0].name == "shard-test"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            ShardedDeployment(sharded(), backend="fpga")
+
+    def test_sim_backend_rejects_options(self):
+        with pytest.raises(ConfigurationError, match="invalid options"):
+            ShardedDeployment(sharded(), backend="sim", time_scale=5)
+
+
+class TestSimShardedRuns:
+    def test_aggregate_sums_shards_and_sites(self):
+        result = Deployment(sharded(shards=2)).run()
+        assert result.shards is not None and len(result.shards) == 2
+        assert result.total_committed == sum(
+            shard.total_committed for shard in result.shards
+        )
+        assert result.throughput_kops == pytest.approx(
+            sum(shard.throughput_kops for shard in result.shards)
+        )
+        for site in ("CA", "VA", "IR"):
+            assert result.sites[site].committed == sum(
+                shard.sites[site].committed for shard in result.shards
+            )
+            merged = result.sites[site].summary
+            assert merged is not None
+            assert merged.count == sum(
+                shard.sites[site].summary.count
+                for shard in result.shards
+                if shard.sites[site].summary is not None
+            )
+            assert merged.min_ms <= merged.p50_ms <= merged.max_ms
+        assert result.metadata["shards"] == 2
+        assert [entry["shard"] for entry in result.metadata["per_shard"]] == [0, 1]
+
+    def test_sharded_sim_runs_are_deterministic(self):
+        first = Deployment(sharded(shards=2)).run()
+        second = Deployment(sharded(shards=2)).run()
+        assert first.total_committed == second.total_committed
+        assert [shard.total_committed for shard in first.shards] == [
+            shard.total_committed for shard in second.shards
+        ]
+
+    def test_per_shard_seed_override_changes_the_sim_run(self):
+        """A [sharding] seed override is never a silent no-op: the shared
+        scheduler's stream mixes every shard's seed."""
+        base = Deployment(sharded(shards=2)).run()
+        overridden = Deployment(
+            sharded(
+                shards=2,
+                sharding=ShardingSpec(
+                    shards=2, overrides=(ShardOverride(shard=1, seed=9999),)
+                ),
+            )
+        ).run()
+        # Committed counts are latency-dominated and may coincide; the
+        # per-site latency samples cannot (different jitter/think streams).
+        base_means = [base.sites[site].summary.mean_ms for site in base.sites]
+        overridden_means = [
+            overridden.sites[site].summary.mean_ms for site in overridden.sites
+        ]
+        assert base_means != overridden_means
+
+    def test_merged_cdf_is_a_cdf(self):
+        result = Deployment(sharded(shards=2, cdf_sites=("CA",))).run()
+        cdf = result.sites["CA"].cdf_ms
+        assert cdf is not None and len(cdf) > 1
+        values = [value for value, _fraction in cdf]
+        fractions = [fraction for _value, fraction in cdf]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_unsharded_result_has_no_shards(self):
+        assert run_spec(sharded(shards=1)).shards is None
+
+    def test_mixed_protocols_per_shard(self):
+        spec = sharded(
+            shards=2,
+            sharding=ShardingSpec(
+                shards=2, overrides=(ShardOverride(shard=1, protocol="mencius"),)
+            ),
+        )
+        result = Deployment(spec).run()
+        assert [shard.protocol for shard in result.shards] == ["clock-rsm", "mencius"]
+        assert all(shard.total_committed > 0 for shard in result.shards)
+
+
+class TestAsyncShardedRuns:
+    def test_concurrent_clusters_in_one_loop(self):
+        spec = sharded(
+            shards=2,
+            duration_s=0.6,
+            workload=WorkloadSpec(clients_per_site=2, think_time_max_ms=20.0),
+        )
+        result = Deployment(spec, backend="async", time_scale=50).run()
+        assert result.backend == "async"
+        assert len(result.shards) == 2
+        assert result.total_committed == sum(
+            shard.total_committed for shard in result.shards
+        )
+        assert result.total_committed > 0
+
+    def test_cpu_model_still_rejected(self):
+        from repro.experiment import CpuSpec
+
+        spec = sharded(cpu=CpuSpec())
+        with pytest.raises(ConfigurationError, match="no CPU cost model"):
+            Deployment(spec, backend="async", time_scale=50).run()
+
+
+class TestShardedChecking:
+    @pytest.mark.parametrize(
+        "backend,options",
+        [("sim", {}), ("async", {"time_scale": 50, "submit_timeout": 5.0})],
+    )
+    def test_check_spec_dispatches_per_shard(self, backend, options):
+        run = check_spec(sharded(shards=2), backend=backend, **options)
+        assert isinstance(run.report, ShardedCheckReport)
+        assert run.linearizable, run.report.violation
+        assert len(run.report.shard_reports) == 2
+        assert "every shard" in run.describe()
+        payload = run.to_dict()
+        assert payload["check"]["linearizable"] is True
+        assert payload["check"]["client_order_ok"] is True
+        assert len(payload["check"]["shards"]) == 2
+
+    def test_client_order_violation_detected(self):
+        history = OpHistory()
+        history.invoke(CommandId("c", 1), 0, b"p", 10)
+        history.complete(CommandId("c", 1), None, 100)
+        other = OpHistory()  # same client, op 2 on another shard, overlapping
+        other.invoke(CommandId("c", 2), 0, b"p", 50)
+        other.complete(CommandId("c", 2), None, 120)
+        violation = client_order_violation([history, other])
+        assert violation is not None and "'c'" in violation
+
+    def test_sequential_clients_pass(self):
+        history = OpHistory()
+        history.invoke(CommandId("c", 1), 0, b"p", 10)
+        history.complete(CommandId("c", 1), None, 100)
+        history.invoke(CommandId("c", 2), 0, b"p", 100)
+        assert client_order_violation([history]) is None
+
+    def test_report_surfaces_shard_violations(self):
+        from repro.checker.linearizability import CheckReport
+
+        good = CheckReport(
+            linearizable=True, method="total-order", ops=5,
+            completed=5, pending=0, failed=0, keys=2,
+        )
+        bad = replace(good, linearizable=False, violation="stale read")
+        report = ShardedCheckReport(shard_reports=[good, bad])
+        assert not report.linearizable
+        assert "shard 1" in report.violation
+        report = ShardedCheckReport(shard_reports=[good], client_order="oops")
+        assert not report.linearizable
+        assert "client order" in report.violation
+
+
+class TestShardedKVClient:
+    def test_router_cluster_mismatch_rejected(self):
+        from repro.experiment.sim_backend import SimBackend
+        from repro.sim.environment import SimulationEnvironment
+
+        backend = SimBackend()
+        env = SimulationEnvironment(seed=1)
+        spec = sharded(shards=2, workload=WorkloadSpec(clients_per_site=1, app="kv"))
+        clusters = [backend.build_cluster(sub, env=env) for sub in shard_subspecs(spec)]
+        with pytest.raises(ConfigurationError, match="expects 3 shards"):
+            ShardedKVClient(clusters, router=ShardRouter(3))
+
+    def test_routes_and_merges(self):
+        from repro.experiment.sim_backend import SimBackend
+        from repro.sim.environment import SimulationEnvironment
+
+        backend = SimBackend()
+        env = SimulationEnvironment(seed=1)
+        spec = sharded(shards=2, workload=WorkloadSpec(clients_per_site=1, app="kv"))
+        clusters = [backend.build_cluster(sub, env=env) for sub in shard_subspecs(spec)]
+        client = ShardedKVClient(clusters)
+        keys = [f"key-{index}" for index in range(12)]
+        for index, key in enumerate(keys):
+            assert client.put(key, str(index).encode()) is None
+        assert client.get_many(keys) == {
+            key: str(index).encode() for index, key in enumerate(keys)
+        }
+        assert client.delete(keys[0]) is True
+        assert client.get(keys[0]) is None
+        # Per-key single-shard residency: each key lives exactly on the
+        # state machines of the shard the router names.
+        router = client.router
+        for key in keys[1:]:
+            owning_shard = router.shard_of(key)
+            for shard, cluster in enumerate(clusters):
+                stored = cluster.state_machine(0).get(key)
+                if shard == owning_shard:
+                    assert stored is not None
+                else:
+                    assert stored is None
+
+    def test_session_is_one_client_spanning_shards(self):
+        """The whole sharded client records as ONE sequential client, so the
+        cross-shard client-order pass actually spans shards."""
+        from repro.experiment.sim_backend import SimBackend
+        from repro.shard.check import client_order_violation, split_history
+        from repro.sim.environment import SimulationEnvironment
+
+        backend = SimBackend()
+        env = SimulationEnvironment(seed=2)
+        spec = sharded(shards=2, workload=WorkloadSpec(clients_per_site=1, app="kv"))
+        clusters = [backend.build_cluster(sub, env=env) for sub in shard_subspecs(spec)]
+        history = OpHistory()
+        client = ShardedKVClient(clusters, history=history)
+        for index in range(10):
+            client.put(f"key-{index}", b"v")
+        assert {op.client for op in history} == {client.name}
+        assert [op.seqno for op in history] == list(range(1, 11))
+        parts = split_history(history, client.router)
+        # Ops really spread over both shards under one client identity.
+        assert all(len(part) > 0 for part in parts.values())
+        assert client_order_violation(list(parts.values())) is None
+
+
+class TestShardedCli:
+    def spec_path(self, tmp_path, **kwargs):
+        spec = sharded(**kwargs)
+        path = tmp_path / "sharded.json"
+        path.write_text(spec.to_json())
+        return str(path)
+
+    def test_run_with_shards_override(self, capsys, tmp_path):
+        path = self.spec_path(tmp_path, shards=1, duration_s=0.5)
+        assert main(["run", path, "--shards", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metadata"]["shards"] == 2
+        assert len(payload["shards"]) == 2
+
+    def test_shards_override_never_drops_spec_overrides(self, tmp_path):
+        """Shrinking --shards below an override's index is an error, not a
+        silently different deployment."""
+        spec = sharded(
+            shards=4,
+            sharding=ShardingSpec(
+                shards=4, overrides=(ShardOverride(shard=3, protocol="mencius"),)
+            ),
+        )
+        path = tmp_path / "overridden.json"
+        path.write_text(spec.to_json())
+        with pytest.raises(SystemExit, match="only 3 shards"):
+            main(["run", str(path), "--shards", "3"])
+
+    def test_check_sharded_spec(self, capsys, tmp_path):
+        path = self.spec_path(tmp_path, shards=2, duration_s=0.5)
+        assert main(["check", path]) == 0
+        assert "every shard" in capsys.readouterr().out
+
+    def test_protocols_subcommand(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        for protocol in ("clock-rsm", "paxos", "paxos-bcast", "mencius", "mencius-bcast"):
+            assert protocol in output
+        assert "reconfiguration" in output
+
+    def test_help_lists_registries(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--help"])
+        output = capsys.readouterr().out
+        assert "protocols: clock-rsm, mencius, mencius-bcast, paxos, paxos-bcast" in output
+        assert "workload scenarios: balanced, imbalanced, saturating" in output
+        assert "backends: async, sim" in output

@@ -1,0 +1,101 @@
+"""The key→shard router: determinism, placement properties, partitioning."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiment import ShardingSpec
+from repro.shard import ShardRouter
+
+KEYS = [f"key-{index}" for index in range(500)] + [
+    "", "a", "zzzz", "user:0042", "ünïcode-κλειδί", "key-42/suffix",
+]
+
+
+class TestConstruction:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(4, placement="round-robin")
+
+    def test_from_spec(self):
+        router = ShardRouter.from_spec(ShardingSpec(shards=8, placement="range"))
+        assert router.shards == 8 and router.placement == "range"
+
+
+class TestRouting:
+    @pytest.mark.parametrize("placement", ["hash", "range"])
+    def test_deterministic_and_in_range(self, placement):
+        router = ShardRouter(4, placement=placement)
+        for key in KEYS:
+            shard = router.shard_of(key)
+            assert 0 <= shard < 4
+            assert router.shard_of(key) == shard
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(1, placement="hash")
+        assert {router.shard_of(key) for key in KEYS} == {0}
+
+    def test_hash_spreads_uniform_keys(self):
+        """Hash placement lands a synthetic uniform key population on every
+        shard, with no shard hoarding more than half of it."""
+        router = ShardRouter(4, placement="hash")
+        population = [f"key-{index}" for index in range(1000)]
+        groups = router.partition(population)
+        assert set(groups) == {0, 1, 2, 3}
+        assert max(len(group) for group in groups.values()) < 500
+
+    def test_range_placement_is_monotone_in_key_order(self):
+        """Lexicographically sorted keys map to non-decreasing shards —
+        the contiguous-key-range contract of range placement."""
+        router = ShardRouter(8, placement="range")
+        shards = [router.shard_of(key) for key in sorted(KEYS)]
+        assert shards == sorted(shards)
+
+    def test_range_placement_covers_the_printable_space(self):
+        """Single printable-ASCII characters — the span real keys start
+        with — reach every shard under range placement."""
+        router = ShardRouter(4, placement="range")
+        keys = [chr(byte) for byte in range(0x20, 0x7F)]
+        assert {router.shard_of(key) for key in keys} == {0, 1, 2, 3}
+
+    def test_range_placement_groups_common_prefixes(self):
+        """Keys sharing a long prefix land on one shard — the locality
+        contract (and the balance trade) of range placement."""
+        router = ShardRouter(4, placement="range")
+        shards = {router.shard_of(f"user:{index:04d}") for index in range(100)}
+        assert len(shards) == 1
+
+    def test_partition_preserves_membership_and_order(self):
+        router = ShardRouter(3, placement="hash")
+        groups = router.partition(list(KEYS))
+        flattened = [key for group in groups.values() for key in group]
+        assert sorted(flattened) == sorted(KEYS)
+        for shard, group in groups.items():
+            assert all(router.shard_of(key) == shard for key in group)
+
+    def test_stable_across_processes(self):
+        """Routing is independent of PYTHONHASHSEED (unlike builtin hash)."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        script = (
+            "from repro.shard import ShardRouter; "
+            "router = ShardRouter(8); "
+            "print([router.shard_of(f'key-{i}') for i in range(64)])"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": str(src), "PYTHONHASHSEED": seed},
+            ).stdout
+            for seed in ("1", "2")
+        }
+        assert len(outputs) == 1

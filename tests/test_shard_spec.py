@@ -1,0 +1,209 @@
+"""Spec error paths around sharding, faults, latency — and round-trips.
+
+Every malformed input must be rejected at construction with a
+:class:`~repro.errors.ConfigurationError` (never a bare TypeError/KeyError
+deep in a backend), and every valid sharded spec must round-trip through
+dictionaries, JSON, and TOML files unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiment import (
+    ExperimentSpec,
+    ShardingSpec,
+    ShardOverride,
+    WorkloadSpec,
+)
+
+BASE = {
+    "name": "spec-errors",
+    "protocol": "clock-rsm",
+    "sites": ["CA", "VA", "IR"],
+}
+
+
+def build(**extra):
+    return ExperimentSpec.from_dict({**BASE, **extra})
+
+
+def rejected(match: str, **extra) -> None:
+    with pytest.raises(ConfigurationError, match=match):
+        build(**extra)
+
+
+class TestMalformedShardingTables:
+    def test_sharding_must_be_a_table(self):
+        rejected("sharding must be a table", sharding=4)
+
+    def test_unknown_sharding_keys(self):
+        rejected("unknown keys in sharding", sharding={"shards": 2, "replicas": 5})
+
+    def test_zero_and_negative_shards(self):
+        rejected("shards must be >= 1", sharding={"shards": 0})
+        rejected("shards must be >= 1", sharding={"shards": -3})
+
+    def test_non_integer_shards(self):
+        rejected("shards must be an integer", sharding={"shards": 2.5})
+        rejected("shards must be an integer", sharding={"shards": True})
+
+    def test_unknown_placement(self):
+        rejected("unknown placement", sharding={"shards": 2, "placement": "zodiac"})
+
+    def test_overrides_must_be_a_list_of_tables(self):
+        rejected("overrides must be a list", sharding={"shards": 2, "overrides": "s0"})
+        rejected(
+            "sharding.overrides\\[0\\] must be a table",
+            sharding={"shards": 2, "overrides": [3]},
+        )
+
+    def test_override_unknown_keys(self):
+        rejected(
+            "unknown keys in sharding.overrides",
+            sharding={"shards": 2, "overrides": [{"shard": 0, "sites": ["CA"]}]},
+        )
+
+    def test_override_out_of_range_and_duplicates(self):
+        rejected(
+            "only 2 shards",
+            sharding={"shards": 2, "overrides": [{"shard": 2, "seed": 1}]},
+        )
+        rejected(
+            "duplicate overrides",
+            sharding={
+                "shards": 2,
+                "overrides": [{"shard": 0, "seed": 1}, {"shard": 0, "seed": 2}],
+            },
+        )
+
+    def test_override_without_content_rejected(self):
+        rejected(
+            "neither seed nor protocol",
+            sharding={"shards": 2, "overrides": [{"shard": 1}]},
+        )
+
+    def test_override_unknown_protocol(self):
+        rejected(
+            "unknown protocol",
+            sharding={"shards": 2, "overrides": [{"shard": 0, "protocol": "raft"}]},
+        )
+
+    def test_rejoin_fault_incompatible_with_override_protocol(self):
+        rejected(
+            "does not support reconfiguration",
+            sharding={"shards": 2, "overrides": [{"shard": 1, "protocol": "paxos"}]},
+            faults=[
+                {"kind": "crash", "at_s": 0.5, "site": "IR"},
+                {"kind": "recover", "at_s": 1.0, "site": "IR", "rejoin": True},
+            ],
+        )
+
+
+class TestUnknownFaultKinds:
+    def test_unknown_fault_kind(self):
+        rejected("unknown fault kind", faults=[{"kind": "meteor", "at_s": 1, "site": "CA"}])
+
+    def test_fault_kind_typo_lists_valid_kinds(self):
+        with pytest.raises(ConfigurationError, match="clock-jump"):
+            build(faults=[{"kind": "clockjump", "at_s": 1, "site": "CA"}])
+
+    def test_fault_field_cross_rules(self):
+        rejected("needs a peer", faults=[{"kind": "partition", "at_s": 1, "site": "CA"}])
+        rejected(
+            "non-zero offset_ms", faults=[{"kind": "clock-jump", "at_s": 1, "site": "CA"}]
+        )
+        rejected(
+            "only applies to clock-jump",
+            faults=[{"kind": "crash", "at_s": 1, "site": "CA", "offset_ms": 5.0}],
+        )
+
+
+class TestBadLatencyMatrices:
+    def test_unknown_latency_model(self):
+        rejected("unknown latency model", latency="starlink")
+
+    def test_ec2_latency_requires_ec2_sites(self):
+        with pytest.raises(ConfigurationError, match="not EC2 sites"):
+            ExperimentSpec.from_dict(
+                {**BASE, "sites": ["CA", "VA", "MOON"], "latency": "ec2"}
+            )
+
+    def test_uniform_latency_rejects_negative_delay(self):
+        rejected("one_way_ms must be non-negative", latency="uniform", one_way_ms=-1.0)
+
+    def test_jitter_fraction_bounds(self):
+        rejected("jitter_fraction", jitter_fraction=1.5)
+
+
+class TestShardedRoundTrip:
+    def sharded(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            name="round-trip",
+            protocol="clock-rsm",
+            sites=("CA", "VA", "IR"),
+            workload=WorkloadSpec(clients_per_site=6, think_time_max_ms=40.0),
+            duration_s=1.0,
+            warmup_s=0.2,
+            sharding=ShardingSpec(
+                shards=4,
+                placement="range",
+                overrides=(
+                    ShardOverride(shard=1, seed=99),
+                    ShardOverride(shard=3, protocol="mencius"),
+                ),
+            ),
+        )
+
+    def test_dict_round_trip(self):
+        spec = self.sharded()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self, tmp_path):
+        spec = self.sharded()
+        path = tmp_path / "sharded.json"
+        path.write_text(spec.to_json())
+        assert ExperimentSpec.from_file(path) == spec
+
+    def test_toml_round_trip(self, tmp_path):
+        spec = self.sharded()
+        data = spec.to_dict()
+        lines = [
+            f"name = {json.dumps(data['name'])}",
+            f"protocol = {json.dumps(data['protocol'])}",
+            f"sites = {json.dumps(data['sites'])}",
+            f"duration_s = {data['duration_s']}",
+            f"warmup_s = {data['warmup_s']}",
+            "[workload]",
+            *(f"{key} = {json.dumps(value)}" for key, value in data["workload"].items()),
+            "[sharding]",
+            f"shards = {data['sharding']['shards']}",
+            f"placement = {json.dumps(data['sharding']['placement'])}",
+            *(
+                "[[sharding.overrides]]\n"
+                + "\n".join(f"{key} = {json.dumps(value)}" for key, value in entry.items())
+                for entry in data["sharding"]["overrides"]
+            ),
+        ]
+        path = tmp_path / "sharded.toml"
+        path.write_text("\n".join(lines) + "\n")
+        assert ExperimentSpec.from_file(path) == spec
+
+    def test_unsharded_spec_omits_the_table(self):
+        spec = ExperimentSpec(**{**BASE, "sites": tuple(BASE["sites"])})
+        assert "sharding" not in spec.to_dict()
+
+    def test_shipped_sharded_example_loads(self):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "examples" / "specs" / "sharded_hash_4.toml"
+        )
+        spec = ExperimentSpec.from_file(path)
+        assert spec.sharding is not None and spec.sharding.shards == 4
+        assert spec.sharding.protocol_for(3, spec.protocol) == "mencius"
+        assert spec.sharding.seed_for(0, spec.seed) == spec.seed
