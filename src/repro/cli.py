@@ -52,8 +52,15 @@ from .bench.reporting import (
 )
 from .bench.throughput import run_throughput_comparison
 from .errors import ReproError
-from .experiment import BACKENDS, Deployment, ExperimentSpec, ShardingSpec, check_spec
-from .protocols.registry import CAPABILITIES, available_protocols
+from .experiment import (
+    BACKENDS,
+    BatchingSpec,
+    Deployment,
+    ExperimentSpec,
+    ShardingSpec,
+    check_spec,
+)
+from .protocols.registry import available_protocols, capability_rows
 from .types import seconds_to_micros
 
 
@@ -129,10 +136,24 @@ def _apply_shards(spec: ExperimentSpec, shards: Optional[int]) -> ExperimentSpec
     return replace(spec, sharding=replace(base, shards=shards))
 
 
+def _apply_batch(spec: ExperimentSpec, batch: Optional[int]) -> ExperimentSpec:
+    """Apply a ``--batch`` override to a loaded spec.
+
+    Overrides (or introduces) the ``[batching]`` table's ``max_batch``; the
+    spec's window and pipeline depth are kept as written.  ``--batch 1``
+    explicitly disables batching on a spec that configures it.
+    """
+    if batch is None:
+        return spec
+    base = spec.batching or BatchingSpec()
+    return replace(spec, batching=replace(base, max_batch=batch))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a declarative experiment spec file on the chosen backend."""
     try:
         spec = _apply_shards(ExperimentSpec.from_file(args.spec), args.shards)
+        spec = _apply_batch(spec, args.batch)
         options = {"time_scale": args.time_scale} if args.backend == "async" else {}
         result = Deployment(spec, backend=args.backend, **options).run()
     except ReproError as exc:
@@ -168,6 +189,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     runs = []
     try:
         spec = _apply_shards(ExperimentSpec.from_file(args.spec), args.shards)
+        spec = _apply_batch(spec, args.batch)
         for backend in backends:
             options = (
                 {"time_scale": args.time_scale, "submit_timeout": args.submit_timeout}
@@ -189,19 +211,13 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_protocols(args: argparse.Namespace) -> int:
-    """Print the protocol registry's capability table."""
-    yes = lambda flag: "yes" if flag else "-"
-    rows = [
-        {
-            "protocol": caps.name,
-            "leader_based": yes(caps.leader_based),
-            "needs_clocks": yes(caps.needs_clocks),
-            "broadcast": yes(caps.broadcast_variant),
-            "reconfiguration": yes(caps.supports_reconfiguration),
-        }
-        for _name, caps in sorted(CAPABILITIES.items())
-    ]
-    print(format_table(rows, "Registered protocols and their capabilities"))
+    """Print the protocol registry's capability table.
+
+    The rows come from :func:`repro.protocols.registry.capability_rows`,
+    the same source the docs test checks ``docs/PROTOCOLS.md`` against, so
+    the CLI table and the documentation cannot drift apart.
+    """
+    print(format_table(capability_rows(), "Registered protocols and their capabilities"))
     return 0
 
 
@@ -299,6 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shards", type=int, default=None,
                      help="override the spec's [sharding] shard count "
                           "(deploys N independent protocol groups)")
+    run.add_argument("--batch", type=int, default=None,
+                     help="override the spec's [batching] max_batch "
+                          "(commands agreed on per protocol round; 1 disables)")
     run.add_argument("--json", action="store_true",
                      help="print the full result as JSON instead of a table")
     run.set_defaults(handler=cmd_run)
@@ -319,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--shards", type=int, default=None,
                        help="override the spec's [sharding] shard count "
                             "(checks per-shard linearizability)")
+    check.add_argument("--batch", type=int, default=None,
+                       help="override the spec's [batching] max_batch before "
+                            "checking (batches must stay linearizable)")
     check.add_argument("--json", action="store_true",
                        help="print results and verdicts as JSON")
     check.set_defaults(handler=cmd_check)

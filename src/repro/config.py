@@ -114,6 +114,51 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class BatchingOptions:
+    """Runtime batching/pipelining knobs shared by both backends.
+
+    Attributes:
+        max_batch: Largest number of client commands agreed on as one
+            :class:`~repro.protocols.records.CommandBatch` (one protocol
+            round / one wire message per batch).  ``1`` disables batching
+            entirely — the accumulation path is bypassed and behaviour is
+            bit-identical to an unbatched deployment.
+        window_us: Opportunistic accumulation window in microseconds.  ``0``
+            means "batch whatever is already queued, never wait": commands
+            arriving in the same event-loop tick (asyncio) or at the same
+            virtual instant (simulator) form a batch, matching the paper's
+            implementation note and the cost model's ``batch_window = 0``
+            semantics.  A positive window trades latency for larger batches.
+        pipeline_depth: How many units a client keeps in flight without
+            awaiting the previous commit (message pipelining).  ``1`` is the
+            classic closed loop.
+    """
+
+    max_batch: int = 1
+    window_us: Micros = 0
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("max_batch", "window_us", "pipeline_depth"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.window_us < 0:
+            raise ConfigurationError(f"window_us must be >= 0, got {self.window_us}")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether command accumulation is active at all."""
+        return self.max_batch > 1
+
+
+@dataclass(frozen=True, slots=True)
 class ProtocolConfig:
     """Tunable parameters shared by the replication protocols.
 
@@ -179,6 +224,7 @@ def validate_active_config(spec: ClusterSpec, active: Iterable[ReplicaId]) -> tu
 __all__ = [
     "ReplicaSpec",
     "ClusterSpec",
+    "BatchingOptions",
     "ProtocolConfig",
     "validate_active_config",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..net.message import register_message
+from ..protocols.records import CommandUnit
 from ..types import Command, Micros, ReplicaId, Timestamp
 
 # ---------------------------------------------------------------------------
@@ -20,9 +21,13 @@ from ..types import Command, Micros, ReplicaId, Timestamp
 @register_message
 @dataclass(frozen=True, slots=True)
 class Prepare:
-    """⟨PREPARE cmd, ts⟩ — logging request broadcast by the originating replica."""
+    """⟨PREPARE cmd, ts⟩ — logging request broadcast by the originating replica.
 
-    command: Command
+    ``command`` is a unit: a single client command or a
+    :class:`~repro.protocols.records.CommandBatch` sharing one timestamp.
+    """
+
+    command: CommandUnit
     ts: Timestamp
     epoch: int = 0
 
@@ -61,7 +66,7 @@ class ClockTime:
 class PrepareRecord:
     """Log record for a PREPARE entry; the originating replica is ``ts.replica``."""
 
-    command: Command
+    command: CommandUnit
     ts: Timestamp
 
 

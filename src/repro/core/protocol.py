@@ -37,6 +37,7 @@ from ..protocols.base import (
     SetTimer,
     Timer,
 )
+from ..protocols.records import CommandUnit
 from ..types import Command, Micros, ReplicaId, Timestamp, ZERO_TS, is_noop
 from .messages import (
     ClockTime,
@@ -80,8 +81,8 @@ class ClockRsmReplica(Replica):
         self.state = ClockRsmState(self.active_config, self.quorum_size)
         #: Timestamp of the last COMMIT mark appended to the log.
         self.last_committed_ts: Timestamp = ZERO_TS
-        #: Client requests received while suspended, replayed on resume.
-        self._parked_requests: deque[Command] = deque()
+        #: Client units received while suspended, replayed on resume.
+        self._parked_requests: deque[CommandUnit] = deque()
         self.reconfig = None
         if self.config.enable_reconfiguration:
             from .reconfig import ReconfigurationManager
@@ -108,7 +109,7 @@ class ClockRsmReplica(Replica):
 
         recovered = replay_log(self.log)
         for record in recovered.executed:
-            self.execute(record.command)
+            self.execute_unit(record.command)
         self.last_committed_ts = recovered.last_committed_ts
         self.ts_source.observe(recovered.highest_ts.micros)
         # PREPARE entries without a COMMIT mark become pending again; they
@@ -128,7 +129,9 @@ class ClockRsmReplica(Replica):
     # Client requests (Algorithm 1, lines 1-3)
     # ------------------------------------------------------------------
 
-    def on_client_request(self, command: Command) -> list[Action]:
+    def on_client_request(self, command: CommandUnit) -> list[Action]:
+        """Handle a client unit: one timestamp — and one PREPARE round — per
+        unit, whether it is a single command or a whole batch."""
         if self.stopped:
             return []
         if self.suspended:
@@ -272,10 +275,10 @@ class ClockRsmReplica(Replica):
                 break
             self.state.remove_pending(entry.ts)
             self.log.append(CommitRecord(entry.ts))
-            output = self.execute(entry.command)
+            for command, output in self.execute_unit(entry.command):
+                if entry.origin == self.replica_id and not is_noop(command):
+                    actions.append(ClientReply(command.command_id, output))
             self.last_committed_ts = entry.ts
-            if entry.origin == self.replica_id and not is_noop(entry.command):
-                actions.append(ClientReply(entry.command.command_id, output))
         return actions
 
     # ------------------------------------------------------------------
@@ -334,7 +337,7 @@ class ClockRsmReplica(Replica):
             if record.ts not in logged_ts:
                 self.log.append(PrepareRecord(record.command, record.ts))
             self.log.append(CommitRecord(record.ts))
-            self.execute(record.command)
+            self.execute_unit(record.command)
             self.last_committed_ts = record.ts
             self.state.remove_pending(record.ts)
 

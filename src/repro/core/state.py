@@ -15,6 +15,7 @@ from enum import Enum
 from typing import Iterable, Optional
 
 from ..errors import ProtocolError
+from ..protocols.records import CommandUnit
 from ..types import Command, Micros, ReplicaId, Timestamp
 
 
@@ -30,9 +31,9 @@ class CommitStatus(Enum):
 
 @dataclass(frozen=True, slots=True)
 class PendingCommand:
-    """A command that has been prepared but not yet committed."""
+    """A unit (command or batch) that has been prepared but not committed."""
 
-    command: Command
+    command: CommandUnit
     ts: Timestamp
     origin: ReplicaId
     received_at: Micros = 0

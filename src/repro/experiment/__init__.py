@@ -27,6 +27,7 @@ from .spec import (
     FAULT_KINDS,
     PLACEMENTS,
     SCENARIOS,
+    BatchingSpec,
     ClockSpec,
     CpuSpec,
     ExperimentSpec,
@@ -43,6 +44,7 @@ __all__ = [
     "PLACEMENTS",
     "SCENARIOS",
     "BACKENDS",
+    "BatchingSpec",
     "CheckedRun",
     "ClockSpec",
     "CpuSpec",

@@ -131,6 +131,26 @@ class AsyncBackend:
             ),
             state_machine_factory=state_machine_factory(spec.workload.app),
             clock_factory=self._clock_factory(spec),
+            batching=self._scaled_batching(spec),
+        )
+
+    def _scaled_batching(self, spec: ExperimentSpec):
+        """The spec's batching options with the window in wall-clock time.
+
+        ``window_us`` is a spec-time duration like every other delay, so it
+        is divided by ``time_scale`` (sizes and depths are dimensionless).
+        """
+        if spec.batching is None:
+            return None
+        options = spec.batching.options()
+        if options.window_us == 0 or self.time_scale == 1:
+            return options
+        from ..config import BatchingOptions
+
+        return BatchingOptions(
+            max_batch=options.max_batch,
+            window_us=max(1, int(options.window_us / self.time_scale)),
+            pipeline_depth=options.pipeline_depth,
         )
 
     def _check_supported(self, spec: ExperimentSpec) -> None:
@@ -231,6 +251,33 @@ class AsyncBackend:
             return bytes(workload.payload_size)
 
         stop = asyncio.Event()
+        pipeline_depth = (
+            spec.batching.pipeline_depth if spec.batching is not None else 1
+        )
+
+        async def run_command(
+            server: ReplicaServer, rid: ReplicaId, name: str, rng: random.Random
+        ) -> None:
+            command = Command(CommandId(name, next(uid)), make_payload(rng))
+            collector.record_submit(command.command_id, rid, virtual_micros())
+            if history is not None:
+                history.invoke(
+                    command.command_id, rid, command.payload, virtual_micros()
+                )
+            try:
+                output = await server.submit(command, timeout=self.submit_timeout)
+            except RequestTimeout:
+                if history is not None:
+                    history.fail(command.command_id, virtual_micros())
+                return
+            committed_at = virtual_micros()
+            if history is not None:
+                history.complete(command.command_id, output, committed_at)
+            # Commands draining after the measurement window ended would
+            # never have committed on the sim backend (it hard-stops at
+            # total_runtime_micros); keep the two backends comparable.
+            if committed_at <= spec.total_runtime_micros:
+                collector.record_commit(command.command_id, committed_at)
 
         async def closed_loop_client(
             server: ReplicaServer, rid: ReplicaId, site: str, index: int, think: bool
@@ -246,29 +293,30 @@ class AsyncBackend:
             # Python 3.11's wait_for can swallow a cancellation that races
             # with the commit future resolving, which would leave this loop
             # running (and the run hanging) forever.
+            #
+            # With pipeline_depth > 1 the client does not await each commit
+            # before issuing the next command: up to `depth` submissions stay
+            # in flight concurrently (message pipelining).
+            in_flight: set[asyncio.Task] = set()
             while not stop.is_set():
                 if think and think_max > 0:
                     await asyncio.sleep(rng.uniform(think_min, think_max))
-                command = Command(CommandId(name, next(uid)), make_payload(rng))
-                collector.record_submit(command.command_id, rid, virtual_micros())
-                if history is not None:
-                    history.invoke(
-                        command.command_id, rid, command.payload, virtual_micros()
-                    )
-                try:
-                    output = await server.submit(command, timeout=self.submit_timeout)
-                except RequestTimeout:
-                    if history is not None:
-                        history.fail(command.command_id, virtual_micros())
+                if pipeline_depth == 1:
+                    await run_command(server, rid, name, rng)
                     continue
-                committed_at = virtual_micros()
-                if history is not None:
-                    history.complete(command.command_id, output, committed_at)
-                # Commands draining after the measurement window ended would
-                # never have committed on the sim backend (it hard-stops at
-                # total_runtime_micros); keep the two backends comparable.
-                if committed_at <= spec.total_runtime_micros:
-                    collector.record_commit(command.command_id, committed_at)
+                in_flight.add(
+                    asyncio.create_task(run_command(server, rid, name, rng))
+                )
+                if len(in_flight) >= pipeline_depth:
+                    done, in_flight = await asyncio.wait(
+                        in_flight, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    for task in done:
+                        task.result()  # propagate failures like depth == 1
+            if in_flight:
+                # Drain phase: stop is set, stragglers may be cancelled by
+                # the teardown — swallow only that, not real failures.
+                await asyncio.gather(*in_flight, return_exceptions=True)
 
         tasks: list[asyncio.Task] = []
         fault_handles: list[asyncio.TimerHandle] = []

@@ -103,6 +103,9 @@ class SimBackend:
             cpu_model=_cpu_model(spec.cpu) if spec.cpu is not None else None,
             state_machine_factory=state_machine_factory(spec.workload.app),
             env=env,
+            # Real command batching at the submission path (the CPU model's
+            # own message-level batching composes with it, see sim.node).
+            batching=spec.batching.options() if spec.batching is not None else None,
         )
 
     def prepare(

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
 from ..analysis.ec2 import EC2_SITES, ec2_latency_matrix
-from ..config import ClusterSpec, ProtocolConfig
+from ..config import BatchingOptions, ClusterSpec, ProtocolConfig
 from ..errors import ConfigurationError
 from ..net.latency import LatencyMatrix
 from ..protocols.registry import protocol_capabilities
@@ -247,6 +247,46 @@ class ShardingSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class BatchingSpec:
+    """The ``[batching]`` table: real command batching and pipelining.
+
+    Both backends implement these semantics identically:
+
+    * ``max_batch`` — most client commands agreed on as one
+      :class:`~repro.protocols.records.CommandBatch` (one protocol round,
+      one wire message per batch).  ``1`` disables batching.
+    * ``window_us`` — opportunistic accumulation window.  ``0`` (the
+      default) batches whatever is already queued and never waits — the
+      same semantics as the simulator cost model's
+      :attr:`~repro.config.ProtocolConfig.batch_window` default; a positive
+      window trades commit latency for larger batches.
+    * ``pipeline_depth`` — commands each workload client keeps in flight
+      without awaiting the previous commit (message pipelining; asyncio
+      backend — the simulator's window/saturating clients already model
+      outstanding windows explicitly).
+
+    Consistency results are unchanged: the checker, the stable log, and the
+    per-replica execution orders all see the constituent commands
+    individually.
+    """
+
+    max_batch: int = 1
+    window_us: int = 0
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        self.options()  # eager validation with the runtime's own rules
+
+    def options(self) -> BatchingOptions:
+        """The runtime-layer options object both backends consume."""
+        return BatchingOptions(
+            max_batch=self.max_batch,
+            window_us=self.window_us,
+            pipeline_depth=self.pipeline_depth,
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class CpuSpec:
     """Optional CPU/batching cost model (throughput experiments)."""
 
@@ -288,6 +328,10 @@ class ExperimentSpec:
     #: Partition the keyspace over independent protocol groups
     #: (see :mod:`repro.shard`); ``None`` deploys a single group.
     sharding: Optional[ShardingSpec] = None
+    #: Real command batching / pipelining on both backends; ``None`` (or
+    #: ``max_batch = 1``) runs one protocol round per command.  Composes
+    #: with ``sharding``: every shard group batches independently.
+    batching: Optional[BatchingSpec] = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -332,6 +376,15 @@ class ExperimentSpec:
 
         # Capability-driven protocol checks (raises on unknown protocols).
         caps = protocol_capabilities(self.protocol)
+        if (
+            self.batching is not None
+            and self.batching.max_batch > 1
+            and not caps.batching
+        ):
+            raise ConfigurationError(
+                f"protocol {self.protocol!r} does not support command batching; "
+                "remove the [batching] table or set max_batch = 1"
+            )
         if caps.leader_based:
             if self.leader_site is not None and self.leader_site not in self.sites:
                 raise ConfigurationError(
@@ -501,6 +554,8 @@ class ExperimentSpec:
                     for override in self.sharding.overrides
                 ]
             data["sharding"] = table
+        if self.batching is not None:
+            data["batching"] = asdict(self.batching)
         # TOML has no null: drop None-valued optional keys everywhere (and
         # the clock-jump-only offset_ms when it is at its 0.0 default).
         data["workload"] = {
@@ -525,6 +580,7 @@ class ExperimentSpec:
             "jitter_fraction", "clocks", "workload", "faults", "cpu",
             "duration_s", "warmup_s", "seed", "clocktime_interval_ms",
             "wait_for_clock", "cdf_sites", "record_history", "sharding",
+            "batching",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -535,7 +591,10 @@ class ExperimentSpec:
         kwargs: dict[str, Any] = {
             key: data[key]
             for key in known
-            - {"sites", "clocks", "workload", "faults", "cpu", "cdf_sites", "sharding"}
+            - {
+                "sites", "clocks", "workload", "faults", "cpu", "cdf_sites",
+                "sharding", "batching",
+            }
             if key in data
         }
         kwargs["sites"] = tuple(data["sites"])
@@ -561,6 +620,8 @@ class ExperimentSpec:
             kwargs["cpu"] = _build(CpuSpec, data["cpu"], "cpu")
         if "sharding" in data:
             kwargs["sharding"] = _build_sharding(data["sharding"])
+        if "batching" in data:
+            kwargs["batching"] = _build(BatchingSpec, data["batching"], "batching")
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -647,6 +708,7 @@ __all__ = [
     "ClockSpec",
     "WorkloadSpec",
     "FaultSpec",
+    "BatchingSpec",
     "CpuSpec",
     "ShardOverride",
     "ShardingSpec",

@@ -1,0 +1,77 @@
+"""One accumulate-and-flush primitive for every asyncio batching site.
+
+Three places coalesce work on the event loop — the replica driver (commands
+into :class:`~repro.protocols.records.CommandBatch` units), the TCP
+transport (per-peer envelopes into multi-message frames), and the KV client
+(request frames into one write).  They all share the same semantics, so they
+share this accumulator: flush when ``max_batch`` items are queued or when
+the window expires, where ``window_us = 0`` means "flush whatever the
+current event-loop tick queues, never wait".
+
+A size-triggered flush cancels the armed window timer (and vice versa), so
+a flush can never fire into the *next* accumulation — the queue length at
+flush time is always ≤ ``max_batch``, which callers may rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Generic, List, Optional, TypeVar, Union
+
+from ..config import BatchingOptions
+from ..types import micros_to_seconds
+
+T = TypeVar("T")
+
+_Handle = Union[asyncio.Handle, asyncio.TimerHandle]
+
+
+class BatchAccumulator(Generic[T]):
+    """Accumulates items and hands them to *flush* in bounded groups."""
+
+    def __init__(
+        self, options: BatchingOptions, flush: Callable[[List[T]], None]
+    ) -> None:
+        self._options = options
+        self._flush_cb = flush
+        self._items: list[T] = []
+        self._handle: Optional[_Handle] = None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, item: T) -> None:
+        """Queue *item*; flushes immediately once ``max_batch`` is reached."""
+        self._items.append(item)
+        if len(self._items) >= self._options.max_batch:
+            self.flush()
+        elif self._handle is None:
+            loop = asyncio.get_running_loop()
+            if self._options.window_us == 0:
+                self._handle = loop.call_soon(self.flush)
+            else:
+                self._handle = loop.call_later(
+                    micros_to_seconds(self._options.window_us), self.flush
+                )
+
+    def flush(self) -> None:
+        """Deliver everything queued (≤ max_batch items) to the callback."""
+        self._cancel_timer()
+        if not self._items:
+            return
+        items, self._items = self._items, []
+        self._flush_cb(items)
+
+    def clear(self) -> None:
+        """Drop queued items and disarm the timer (owner is shutting down)."""
+        self._cancel_timer()
+        self._items.clear()
+
+    def _cancel_timer(self) -> None:
+        if self._handle is not None:
+            # Cancelling the handle currently running this flush is a no-op.
+            self._handle.cancel()
+            self._handle = None
+
+
+__all__ = ["BatchAccumulator"]

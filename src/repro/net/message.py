@@ -70,6 +70,14 @@ class MessageRegistry:
         """Decode wire bytes produced by :meth:`encode`."""
         return WireDecoder(object_hook=self._decode_hook).decode(data)
 
+    def encode_many(self, values: Any) -> bytes:
+        """Encode an iterable of values as one concatenated stream."""
+        return WireEncoder(object_hook=self._encode_hook).encode_many(values)
+
+    def decode_many(self, data: bytes) -> list[Any]:
+        """Decode a concatenated stream produced by :meth:`encode_many`."""
+        return WireDecoder(object_hook=self._decode_hook).decode_many(data)
+
 
 def _convert_fields(cls: type, fields: dict[str, Any]) -> dict[str, Any]:
     """Coerce decoded collections back to the declared field container types.
@@ -132,9 +140,53 @@ class Envelope:
         return Envelope(self.src, self.dst, self.message, size)
 
 
+@dataclass(frozen=True, slots=True)
+class EnvelopeBatch:
+    """Several protocol messages between the same pair of replicas.
+
+    The unit of *message pipelining*: a transport that has accumulated
+    multiple envelopes for one destination ships them as a single framed
+    multi-message envelope — one length prefix, one TCP write, one delivery
+    — instead of one frame per message.  Order within the batch is the send
+    order, so FIFO channel semantics (which Mencius's skip detection relies
+    on) are preserved.
+    """
+
+    src: ReplicaId
+    dst: ReplicaId
+    messages: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "messages", tuple(self.messages))
+        if not self.messages:
+            raise CodecError("an envelope batch cannot be empty")
+
+    @classmethod
+    def of(cls, envelopes: "list[Envelope]") -> "EnvelopeBatch":
+        """Bundle same-channel envelopes, preserving their order."""
+        if not envelopes:
+            raise CodecError("an envelope batch cannot be empty")
+        src, dst = envelopes[0].src, envelopes[0].dst
+        for envelope in envelopes:
+            if envelope.src != src or envelope.dst != dst:
+                raise CodecError(
+                    "an envelope batch must share one (src, dst) channel; got "
+                    f"({src}->{dst}) and ({envelope.src}->{envelope.dst})"
+                )
+        return cls(src, dst, tuple(e.message for e in envelopes))
+
+    def envelopes(self) -> list[Envelope]:
+        """Unbundle back into per-message envelopes, in batch order."""
+        return [Envelope(self.src, self.dst, message) for message in self.messages]
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
 __all__ = [
     "MessageRegistry",
     "global_registry",
     "register_message",
     "Envelope",
+    "EnvelopeBatch",
 ]

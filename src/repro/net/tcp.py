@@ -1,11 +1,21 @@
-"""Asyncio TCP transport with length-prefixed framing.
+"""Asyncio TCP transport with length-prefixed framing and batch envelopes.
 
 Used by :mod:`repro.runtime.server` to run a real replicated key-value store
 on a set of sockets (the examples run all replicas in one process on
 localhost; the same code works across machines).
 
-Framing: each message is ``u32 big-endian length`` followed by the
-registry-encoded envelope payload ``{"src": int, "dst": int, "message": obj}``.
+Framing: each frame is ``u32 big-endian length`` followed by a body in one
+of two forms —
+
+* **single**: the registry-encoded envelope payload
+  ``{"src": int, "dst": int, "message": obj}`` (one protocol message);
+* **batch**: a concatenated value stream (see
+  :meth:`~repro.net.message.MessageRegistry.encode_many`) whose first value
+  is the header ``{"src": int, "dst": int, "batch": n}`` followed by the
+  ``n`` message values — one TCP write, one length prefix, ``n`` messages.
+
+:func:`read_envelopes` accepts both, so batched and unbatched peers
+interoperate on the same socket.
 """
 
 from __future__ import annotations
@@ -15,9 +25,11 @@ import logging
 import struct
 from typing import Optional
 
+from ..config import BatchingOptions
 from ..errors import TransportError
 from ..types import ReplicaId
-from .message import Envelope, MessageRegistry, global_registry
+from .batching import BatchAccumulator
+from .message import Envelope, EnvelopeBatch, MessageRegistry, global_registry
 from .transport import Transport
 
 _LOGGER = logging.getLogger(__name__)
@@ -27,18 +39,29 @@ _LENGTH = struct.Struct(">I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
-def encode_frame(envelope: Envelope, registry: MessageRegistry) -> bytes:
-    """Serialize an envelope into a length-prefixed frame."""
-    body = registry.encode(
-        {"src": envelope.src, "dst": envelope.dst, "message": envelope.message}
-    )
+def _frame(body: bytes) -> bytes:
     if len(body) > MAX_FRAME_BYTES:
         raise TransportError(f"frame too large: {len(body)} bytes")
     return _LENGTH.pack(len(body)) + body
 
 
+def encode_frame(envelope: Envelope, registry: MessageRegistry) -> bytes:
+    """Serialize an envelope into a length-prefixed single-message frame."""
+    body = registry.encode(
+        {"src": envelope.src, "dst": envelope.dst, "message": envelope.message}
+    )
+    return _frame(body)
+
+
+def encode_batch_frame(batch: EnvelopeBatch, registry: MessageRegistry) -> bytes:
+    """Serialize a multi-message envelope into one length-prefixed frame."""
+    header = {"src": batch.src, "dst": batch.dst, "batch": len(batch.messages)}
+    body = registry.encode_many([header, *batch.messages])
+    return _frame(body)
+
+
 def decode_frame_body(body: bytes, registry: MessageRegistry) -> Envelope:
-    """Deserialize a frame body (without the length prefix) into an envelope."""
+    """Deserialize a single-message frame body into an envelope."""
     decoded = registry.decode(body)
     if not isinstance(decoded, dict) or not {"src", "dst", "message"} <= decoded.keys():
         raise TransportError("malformed frame body")
@@ -47,14 +70,63 @@ def decode_frame_body(body: bytes, registry: MessageRegistry) -> Envelope:
     )
 
 
+def decode_frame_envelopes(body: bytes, registry: MessageRegistry) -> list[Envelope]:
+    """Deserialize a frame body of either form into its envelopes, in order."""
+    values = registry.decode_many(body)
+    if not values:
+        raise TransportError("empty frame body")
+    header = values[0]
+    if not isinstance(header, dict) or not {"src", "dst"} <= header.keys():
+        raise TransportError("malformed frame body")
+    if "message" in header:
+        if len(values) != 1:
+            raise TransportError("single-message frame carries trailing values")
+        return [
+            Envelope(
+                src=header["src"],
+                dst=header["dst"],
+                message=header["message"],
+                size_hint=len(body),
+            )
+        ]
+    count = header.get("batch")
+    if not isinstance(count, int) or count < 1 or len(values) != count + 1:
+        raise TransportError(
+            f"batch frame announces {count!r} messages but carries {len(values) - 1}"
+        )
+    # The frame's bytes are shared work; attribute them evenly so the
+    # size_hint stays meaningful per message.
+    hint = len(body) // count
+    return [
+        Envelope(src=header["src"], dst=header["dst"], message=message, size_hint=hint)
+        for message in values[1:]
+    ]
+
+
 async def read_frame(reader: asyncio.StreamReader, registry: MessageRegistry) -> Envelope:
-    """Read one frame from *reader*; raises ``IncompleteReadError`` at EOF."""
+    """Read one single-message frame; raises ``IncompleteReadError`` at EOF."""
     header = await reader.readexactly(_LENGTH.size)
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise TransportError(f"frame length {length} exceeds limit")
     body = await reader.readexactly(length)
     return decode_frame_body(body, registry)
+
+
+async def read_envelopes(
+    reader: asyncio.StreamReader, registry: MessageRegistry
+) -> list[Envelope]:
+    """Read one frame of either form and return its envelopes, in order.
+
+    ``readexactly`` reassembles partial reads, so a batch frame split across
+    arbitrarily many TCP segments decodes identically to one delivered whole.
+    """
+    header = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame length {length} exceeds limit")
+    body = await reader.readexactly(length)
+    return decode_frame_envelopes(body, registry)
 
 
 class TcpTransport(Transport):
@@ -64,6 +136,12 @@ class TcpTransport(Transport):
     on failure) and accepts inbound connections from peers and clients.
     Incoming envelopes are handed to the registered handler on the event
     loop; the handler must be non-blocking (the sans-IO protocols are).
+
+    With ``batching`` enabled, outbound envelopes are coalesced per peer:
+    messages queued for the same destination within the accumulation window
+    (``window_us = 0`` — the current event-loop tick) ship as framed
+    multi-message envelopes of at most ``max_batch`` messages each, written
+    in one ``write()`` call.  Message order per channel is preserved.
     """
 
     def __init__(
@@ -72,13 +150,16 @@ class TcpTransport(Transport):
         listen_address: str,
         peer_addresses: dict[ReplicaId, str],
         registry: Optional[MessageRegistry] = None,
+        batching: Optional[BatchingOptions] = None,
     ) -> None:
         super().__init__(local_id)
         self._listen_host, self._listen_port = _split_address(listen_address)
         self._peer_addresses = dict(peer_addresses)
         self._registry = registry or global_registry
+        self._batching = batching if batching is not None and batching.enabled else None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[ReplicaId, asyncio.StreamWriter] = {}
+        self._accumulators: dict[ReplicaId, BatchAccumulator[Envelope]] = {}
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -92,6 +173,8 @@ class TcpTransport(Transport):
 
     async def stop(self) -> None:
         self._closed = True
+        for accumulator in self._accumulators.values():
+            accumulator.clear()
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
@@ -102,6 +185,8 @@ class TcpTransport(Transport):
 
     def close(self) -> None:
         self._closed = True
+        for accumulator in self._accumulators.values():
+            accumulator.clear()
 
     # -- sending -------------------------------------------------------------
 
@@ -110,7 +195,41 @@ class TcpTransport(Transport):
         if envelope.dst == self.local_id:
             self._dispatch(envelope)
             return
-        asyncio.get_running_loop().create_task(self._send_async(envelope))
+        if self._batching is None:
+            asyncio.get_running_loop().create_task(self._send_async(envelope))
+            return
+        accumulator = self._accumulators.get(envelope.dst)
+        if accumulator is None:
+            accumulator = BatchAccumulator(
+                self._batching,
+                lambda envelopes, dst=envelope.dst: self._send_group(dst, envelopes),
+            )
+            self._accumulators[envelope.dst] = accumulator
+        accumulator.add(envelope)
+
+    def _send_group(self, dst: ReplicaId, envelopes: list[Envelope]) -> None:
+        if not self._closed:
+            asyncio.get_running_loop().create_task(self._send_coalesced(dst, envelopes))
+
+    async def _send_coalesced(self, dst: ReplicaId, envelopes: list[Envelope]) -> None:
+        """One write carrying a flushed group (≤ max_batch envelopes)."""
+        try:
+            writer = await self._writer_for(dst)
+            if len(envelopes) == 1:
+                frame = encode_frame(envelopes[0], self._registry)
+            else:
+                frame = encode_batch_frame(EnvelopeBatch.of(envelopes), self._registry)
+            writer.write(frame)
+            await writer.drain()
+        except (OSError, TransportError, asyncio.IncompleteReadError) as exc:
+            _LOGGER.warning(
+                "replica %s failed to send %d coalesced messages to %s: %s",
+                self.local_id,
+                len(envelopes),
+                dst,
+                exc,
+            )
+            self._writers.pop(dst, None)
 
     async def _send_async(self, envelope: Envelope) -> None:
         if self._closed:
@@ -145,8 +264,8 @@ class TcpTransport(Transport):
         peer = writer.get_extra_info("peername")
         try:
             while not self._closed:
-                envelope = await read_frame(reader, self._registry)
-                self._dispatch(envelope)
+                for envelope in await read_envelopes(reader, self._registry):
+                    self._dispatch(envelope)
         except (asyncio.IncompleteReadError, ConnectionResetError):
             _LOGGER.debug("replica %s: connection from %s closed", self.local_id, peer)
         finally:
@@ -163,7 +282,10 @@ def _split_address(address: str) -> tuple[str, int]:
 __all__ = [
     "TcpTransport",
     "encode_frame",
+    "encode_batch_frame",
     "decode_frame_body",
+    "decode_frame_envelopes",
     "read_frame",
+    "read_envelopes",
     "MAX_FRAME_BYTES",
 ]

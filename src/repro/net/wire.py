@@ -62,6 +62,20 @@ class WireEncoder:
         self._write(value)
         return b"".join(self._parts)
 
+    def encode_many(self, values: Any) -> bytes:
+        """Encode an iterable of values as a concatenated stream.
+
+        The stream has no outer container: each value is self-delimiting, so
+        decoding with :meth:`WireDecoder.decode_many` recovers the sequence.
+        Multi-message envelopes (one TCP frame carrying a whole batch) are
+        framed this way — one length prefix for the frame, zero per-message
+        framing overhead beyond the values themselves.
+        """
+        self._parts = []
+        for value in values:
+            self._write(value)
+        return b"".join(self._parts)
+
     # -- writers -----------------------------------------------------------
 
     def _write(self, value: Any) -> None:
@@ -136,6 +150,20 @@ class WireDecoder:
             )
         return value
 
+    def decode_many(self, data: bytes) -> list[Any]:
+        """Decode a concatenated stream of values (see ``encode_many``).
+
+        Values are self-delimiting, so the decoder reads until the buffer is
+        exhausted; a truncated final value raises
+        :class:`~repro.errors.CodecError` like any other short read.
+        """
+        self._data = data
+        self._pos = 0
+        values: list[Any] = []
+        while self._pos < len(self._data):
+            values.append(self._read())
+        return values
+
     # -- readers -----------------------------------------------------------
 
     def _take(self, count: int) -> bytes:
@@ -194,6 +222,16 @@ def decode(data: bytes) -> Any:
     return WireDecoder().decode(data)
 
 
+def encode_many(values: Any) -> bytes:
+    """Encode an iterable of primitive-typed values as one stream."""
+    return WireEncoder().encode_many(values)
+
+
+def decode_many(data: bytes) -> list[Any]:
+    """Decode a stream of concatenated primitive-typed values."""
+    return WireDecoder().decode_many(data)
+
+
 def dataclass_fields(value: Any) -> dict[str, Any]:
     """Shallow field dict of a dataclass instance (no recursion)."""
     if not dataclasses.is_dataclass(value) or isinstance(value, type):
@@ -201,4 +239,12 @@ def dataclass_fields(value: Any) -> dict[str, Any]:
     return {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
 
 
-__all__ = ["WireEncoder", "WireDecoder", "encode", "decode", "dataclass_fields"]
+__all__ = [
+    "WireEncoder",
+    "WireDecoder",
+    "encode",
+    "decode",
+    "encode_many",
+    "decode_many",
+    "dataclass_fields",
+]

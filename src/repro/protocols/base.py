@@ -212,6 +212,19 @@ class Replica(ABC):
             self.observer.on_execute(self.replica_id, command, output)
         return output
 
+    def execute_unit(self, unit: Any) -> list[tuple[Command, Any]]:
+        """Execute a committed unit (command or batch), constituent by
+        constituent, returning ``(command, output)`` pairs in batch order.
+
+        The execution order (and therefore the stable log replay, the
+        consistency checker's apply orders, and observers) sees individual
+        commands: a batch is an agreement-layer envelope, never an execution
+        unit of its own.
+        """
+        from .records import unit_commands  # local import keeps module load order flexible
+
+        return [(command, self.execute(command)) for command in unit_commands(unit)]
+
     def broadcast_targets(self, include_self: bool) -> Iterable[ReplicaId]:
         if include_self:
             return self.active_config

@@ -43,7 +43,7 @@ from .base import (
     Send,
     Timer,
 )
-from .records import AcceptRecord, DecideRecord, SkipRecord
+from .records import AcceptRecord, CommandUnit, DecideRecord, SkipRecord, unit_commands
 from .slots import SlotLedger
 
 _LOGGER = logging.getLogger(__name__)
@@ -57,14 +57,14 @@ _LOGGER = logging.getLogger(__name__)
 @register_message
 @dataclass(frozen=True, slots=True)
 class Suggest:
-    """Coordinator's proposal of *command* in its own *slot*.
+    """Coordinator's proposal of *command* (a unit) in its own *slot*.
 
     ``skip_until`` is the coordinator's next unused own slot: a promise that
     it will never propose in any of its own slots below that bound.
     """
 
     slot: int
-    command: Command
+    command: CommandUnit
     skip_until: int
 
 
@@ -128,10 +128,12 @@ class MenciusReplica(Replica):
 
     # -- client requests ---------------------------------------------------------
 
-    def on_client_request(self, command: Command) -> list[Action]:
+    def on_client_request(self, command: CommandUnit) -> list[Action]:
+        """Handle a client unit (single command or batch) in my next own slot."""
         if self.stopped:
             return []
-        self._my_commands[command.command_id] = command
+        for constituent in unit_commands(command):
+            self._my_commands[constituent.command_id] = constituent
         slot = self.next_own_slot
         self.next_own_slot += self.spec.size
         self.skip_until[self.replica_id] = self.next_own_slot
@@ -261,10 +263,10 @@ class MenciusReplica(Replica):
         for state in self.ledger.pop_executable(self._implicitly_skipped):
             if state.skipped or state.command is None:
                 continue
-            output = self.execute(state.command)
-            if state.command.command_id in self._my_commands:
-                del self._my_commands[state.command.command_id]
-                actions.append(ClientReply(state.command.command_id, output))
+            for command, output in self.execute_unit(state.command):
+                if command.command_id in self._my_commands:
+                    del self._my_commands[command.command_id]
+                    actions.append(ClientReply(command.command_id, output))
         return actions
 
 

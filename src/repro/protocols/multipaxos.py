@@ -31,7 +31,7 @@ from .base import (
     Send,
     Timer,
 )
-from .records import AcceptRecord, DecideRecord
+from .records import AcceptRecord, CommandUnit, DecideRecord, unit_commands
 from .slots import SlotLedger
 
 _LOGGER = logging.getLogger(__name__)
@@ -45,18 +45,18 @@ _LOGGER = logging.getLogger(__name__)
 @register_message
 @dataclass(frozen=True, slots=True)
 class Forward:
-    """A client command forwarded from a non-leader replica to the leader."""
+    """A client unit forwarded from a non-leader replica to the leader."""
 
-    command: Command
+    command: CommandUnit
 
 
 @register_message
 @dataclass(frozen=True, slots=True)
 class Phase2a:
-    """Leader's accept request for *command* in *slot*."""
+    """Leader's accept request for *command* (a unit) in *slot*."""
 
     slot: int
-    command: Command
+    command: CommandUnit
 
 
 @register_message
@@ -107,15 +107,21 @@ class MultiPaxosReplica(Replica):
 
     # -- client requests -------------------------------------------------------
 
-    def on_client_request(self, command: Command) -> list[Action]:
+    def on_client_request(self, command: CommandUnit) -> list[Action]:
+        """Handle a client unit: a single command or a whole batch.
+
+        A batch is ordered as one unit (one slot, one phase-2 round); every
+        constituent command is tracked so its client gets its own reply.
+        """
         if self.stopped:
             return []
-        self._my_commands[command.command_id] = command
+        for constituent in unit_commands(command):
+            self._my_commands[constituent.command_id] = constituent
         if self.is_leader:
             return self._propose(command)
         return [Send(self.leader, Forward(command))]
 
-    def _propose(self, command: Command) -> list[Action]:
+    def _propose(self, command: CommandUnit) -> list[Action]:
         """Leader: assign the next slot and start phase 2."""
         slot = self.next_slot
         self.next_slot += 1
@@ -206,10 +212,10 @@ class MultiPaxosReplica(Replica):
         for state in self.ledger.pop_executable():
             if state.skipped or state.command is None:
                 continue
-            output = self.execute(state.command)
-            if state.command.command_id in self._my_commands:
-                del self._my_commands[state.command.command_id]
-                actions.append(ClientReply(state.command.command_id, output))
+            for command, output in self.execute_unit(state.command):
+                if command.command_id in self._my_commands:
+                    del self._my_commands[command.command_id]
+                    actions.append(ClientReply(command.command_id, output))
         return actions
 
 

@@ -1,20 +1,84 @@
-"""Log records shared by the slot-based baseline protocols (Paxos, Mencius)."""
+"""Log records and the command-batch unit shared by every protocol.
+
+Besides the slot records of the Paxos/Mencius baselines, this module defines
+:class:`CommandBatch` — the unit of agreement when batching is enabled.  The
+protocols order *units* (a single :class:`~repro.types.Command` or a batch of
+them); one protocol round then amortizes its message cost over every command
+in the batch, which is the throughput lever the paper's implementation notes
+describe (and the `[batching]` experiment table exposes).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
 
+from ..errors import ProtocolError
 from ..net.message import register_message
 from ..types import Command
 
 
 @register_message
 @dataclass(frozen=True, slots=True)
+class CommandBatch:
+    """An ordered group of client commands agreed on as one unit.
+
+    A batch occupies one slot / one timestamp: the protocol replicates and
+    commits it with a single round, then executes the constituent commands
+    in batch order.  Consistency is unaffected — the execution order, the
+    stable log, and the checker all see the constituent commands
+    individually — only the per-command message cost changes.
+    """
+
+    commands: tuple[Command, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "commands", tuple(self.commands))
+        if not self.commands:
+            raise ProtocolError("a command batch cannot be empty")
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self.commands)
+
+    @property
+    def size(self) -> int:
+        """Total payload bytes across the batch (throughput model input)."""
+        return sum(command.size for command in self.commands)
+
+
+#: What protocols order: a single command or a batch of them.
+CommandUnit = Union[Command, CommandBatch]
+
+
+def unit_commands(unit: CommandUnit) -> tuple[Command, ...]:
+    """The constituent commands of a unit, in execution order."""
+    if isinstance(unit, CommandBatch):
+        return unit.commands
+    return (unit,)
+
+
+def make_unit(commands: Sequence[Command]) -> CommandUnit:
+    """Wrap *commands* into the smallest unit: bare command or batch.
+
+    A singleton stays a plain :class:`~repro.types.Command`, so batching
+    with ``max_batch = 1`` (or an idle accumulation window) is
+    wire-compatible with an unbatched deployment.
+    """
+    if len(commands) == 1:
+        return commands[0]
+    return CommandBatch(tuple(commands))
+
+
+@register_message
+@dataclass(frozen=True, slots=True)
 class AcceptRecord:
-    """A command accepted into *slot* (Paxos phase-2 accept / Mencius suggest)."""
+    """A unit accepted into *slot* (Paxos phase-2 accept / Mencius suggest)."""
 
     slot: int
-    command: Command
+    command: CommandUnit
 
 
 @register_message
@@ -33,4 +97,12 @@ class SkipRecord:
     slot: int
 
 
-__all__ = ["AcceptRecord", "DecideRecord", "SkipRecord"]
+__all__ = [
+    "CommandBatch",
+    "CommandUnit",
+    "unit_commands",
+    "make_unit",
+    "AcceptRecord",
+    "DecideRecord",
+    "SkipRecord",
+]

@@ -45,6 +45,11 @@ class ProtocolCapabilities:
         supports_reconfiguration: Whether the implementation handles
             SUSPEND/consensus reconfiguration (Algorithm 3), which fault
             schedules with ``rejoin`` recovery rely on.
+        batching: Whether the replica accepts
+            :class:`~repro.protocols.records.CommandBatch` units — one
+            protocol round ordering many client commands.  Every shipped
+            protocol inherits this from the sans-IO base class; specs with
+            a ``[batching]`` table are validated against it.
     """
 
     name: str
@@ -52,6 +57,7 @@ class ProtocolCapabilities:
     needs_clocks: bool
     broadcast_variant: bool
     supports_reconfiguration: bool
+    batching: bool = True
 
 
 def _clock_rsm_class() -> Type[Replica]:
@@ -116,6 +122,28 @@ def available_protocols() -> tuple[str, ...]:
     return tuple(sorted(PROTOCOLS))
 
 
+def capability_rows() -> list[dict[str, str]]:
+    """The capability table as rows of yes/"-" cells, sorted by protocol.
+
+    Single source of truth for every rendering of the table: the
+    ``repro protocols`` CLI subcommand prints exactly these rows, and the
+    docs test checks the Markdown table in ``docs/PROTOCOLS.md`` against
+    them, so the two cannot drift from the registry (or from each other).
+    """
+    yes = lambda flag: "yes" if flag else "-"
+    return [
+        {
+            "protocol": caps.name,
+            "leader_based": yes(caps.leader_based),
+            "needs_clocks": yes(caps.needs_clocks),
+            "broadcast": yes(caps.broadcast_variant),
+            "reconfiguration": yes(caps.supports_reconfiguration),
+            "batching": yes(caps.batching),
+        }
+        for _name, caps in sorted(CAPABILITIES.items())
+    ]
+
+
 def protocol_capabilities(name: str) -> ProtocolCapabilities:
     """Resolve a protocol name to its capability metadata."""
     caps = CAPABILITIES.get(name)
@@ -155,6 +183,7 @@ __all__ = [
     "CAPABILITIES",
     "ProtocolCapabilities",
     "available_protocols",
+    "capability_rows",
     "protocol_capabilities",
     "protocol_class",
     "create_replica",

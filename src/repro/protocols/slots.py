@@ -1,17 +1,22 @@
 """Slot bookkeeping shared by the Paxos and Mencius baselines.
 
-Both baselines agree on a sequence of numbered slots; a command executes when
-its slot is decided and every earlier slot has been executed (or skipped).
-:class:`SlotLedger` tracks per-slot state, acknowledgement quorums, and the
-execution frontier.
+Both baselines agree on a sequence of numbered slots; each slot holds one
+*unit* — a single command or a :class:`~repro.protocols.records.CommandBatch`
+— which executes when the slot is decided and every earlier slot has been
+executed (or skipped).  :class:`SlotLedger` tracks per-slot state,
+acknowledgement quorums, and the execution frontier; batching therefore
+changes how many client commands ride in one slot, never the slot order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
-from ..types import Command, ReplicaId
+from ..types import ReplicaId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .records import CommandUnit
 
 
 @dataclass
@@ -19,7 +24,7 @@ class SlotState:
     """Mutable state of one slot."""
 
     slot: int
-    command: Optional[Command] = None
+    command: Optional["CommandUnit"] = None
     acks: set[ReplicaId] = field(default_factory=set)
     decided: bool = False
     skipped: bool = False
@@ -28,6 +33,13 @@ class SlotState:
     @property
     def has_command(self) -> bool:
         return self.command is not None or self.skipped
+
+    @property
+    def command_count(self) -> int:
+        """How many client commands this slot carries (0 for skips)."""
+        if self.command is None:
+            return 0
+        return len(getattr(self.command, "commands", (self.command,)))
 
 
 class SlotLedger:
@@ -58,7 +70,7 @@ class SlotLedger:
 
     # -- state transitions ----------------------------------------------------
 
-    def record_command(self, slot: int, command: Command) -> SlotState:
+    def record_command(self, slot: int, command: "CommandUnit") -> SlotState:
         state = self.get(slot)
         if state.command is None:
             state.command = command
@@ -117,6 +129,8 @@ class SlotLedger:
             "known_slots": len(self._slots),
             "execute_frontier": self.execute_frontier,
             "undecided": sum(1 for s in self._slots.values() if not s.decided),
+            # With batching, commands ≥ slots: the gap is the batch fill.
+            "commands": sum(s.command_count for s in self._slots.values()),
         }
 
 

@@ -5,6 +5,15 @@ client requests are handed to the replica on the event loop; the actions it
 returns are executed immediately: sends go to the transport, timers become
 ``loop.call_later`` callbacks, and client replies are delivered to a
 registered callback (the replica server resolves pending futures with them).
+
+With :class:`~repro.config.BatchingOptions`, submitted commands are
+opportunistically accumulated into a
+:class:`~repro.protocols.records.CommandBatch` before reaching the replica:
+the queue flushes when it holds ``max_batch`` commands or when the
+accumulation window expires (``window_us = 0`` flushes whatever the current
+event-loop tick queued — batch if load is there, never wait if it is not).
+Submission never blocks on a previous unit committing, so batches pipeline
+through the protocol naturally.
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ import asyncio
 import logging
 from typing import Any, Callable, Optional
 
+from ..config import BatchingOptions
+from ..net.batching import BatchAccumulator
 from ..net.message import Envelope
 from ..protocols.base import (
     Action,
@@ -23,6 +34,7 @@ from ..protocols.base import (
     SetTimer,
     Timer,
 )
+from ..protocols.records import make_unit
 from ..types import Command, CommandId, micros_to_seconds
 
 _LOGGER = logging.getLogger(__name__)
@@ -38,10 +50,17 @@ class AsyncReplicaDriver:
         replica: Replica,
         transport,
         on_reply: Optional[ReplyCallback] = None,
+        batching: Optional[BatchingOptions] = None,
     ) -> None:
         self.replica = replica
         self.transport = transport
         self.on_reply = on_reply
+        self.batching = batching if batching is not None and batching.enabled else None
+        self._accumulator: Optional[BatchAccumulator[Command]] = (
+            BatchAccumulator(self.batching, self._propose_unit)
+            if self.batching is not None
+            else None
+        )
         self._timer_handles: list[asyncio.TimerHandle] = []
         self._started = False
         transport.set_handler(self._on_envelope)
@@ -58,6 +77,8 @@ class AsyncReplicaDriver:
     def stop(self) -> None:
         """Cancel outstanding timers and stop the replica."""
         self.replica.stop()
+        if self._accumulator is not None:
+            self._accumulator.clear()
         for handle in self._timer_handles:
             handle.cancel()
         self._timer_handles.clear()
@@ -66,10 +87,24 @@ class AsyncReplicaDriver:
     # -- inputs ---------------------------------------------------------------------
 
     def submit(self, command: Command) -> None:
-        """Submit a client command to the replica (dropped while stopped)."""
+        """Submit a client command to the replica (dropped while stopped).
+
+        With batching enabled the command joins the accumulation queue and is
+        proposed as part of the next flushed unit; without it, the replica
+        sees the command immediately (identical to the unbatched runtime).
+        """
         if self.replica.stopped:
             return
-        self._perform(self.replica.on_client_request(command))
+        if self._accumulator is None:
+            self._perform(self.replica.on_client_request(command))
+        else:
+            self._accumulator.add(command)
+
+    def _propose_unit(self, commands: list[Command]) -> None:
+        """Propose flushed commands as one unit (batch or single)."""
+        if self.replica.stopped:
+            return
+        self._perform(self.replica.on_client_request(make_unit(commands)))
 
     def _on_envelope(self, envelope: Envelope) -> None:
         if self.replica.stopped:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Optional
 
-from ..config import ClusterSpec, ProtocolConfig
+from ..config import BatchingOptions, ClusterSpec, ProtocolConfig
 from ..errors import ConfigurationError
 from ..net.latency import LatencyMatrix
 from ..net.message import Envelope
@@ -49,10 +49,12 @@ class LocalAsyncCluster:
         protocol_config: Optional[ProtocolConfig] = None,
         state_machine_factory=lambda _rid: KVStateMachine(),
         clock_factory=None,
+        batching: Optional[BatchingOptions] = None,
     ) -> None:
         self.protocol = protocol
         self.spec = spec
         self.latency = latency
+        self.batching = batching
         self.servers: dict[ReplicaId, ReplicaServer] = {}
         self._transports: dict[ReplicaId, _DelayedLoopTransport] = {}
         self._state_machine_factory = state_machine_factory
@@ -78,6 +80,7 @@ class LocalAsyncCluster:
                 transport=transport,
                 protocol_config=protocol_config,
                 clock=clock_factory(rid) if clock_factory is not None else None,
+                batching=batching,
             )
 
     # -- delivery --------------------------------------------------------------------

@@ -15,10 +15,10 @@ from typing import Any, Optional
 
 from ..clocks.base import Clock
 from ..clocks.physical import SystemClock
-from ..config import ClusterSpec, ProtocolConfig
+from ..config import BatchingOptions, ClusterSpec, ProtocolConfig
 from ..errors import RequestTimeout, TransportError
 from ..net.message import Envelope, MessageRegistry, global_registry
-from ..net.tcp import TcpTransport, encode_frame, read_frame
+from ..net.tcp import TcpTransport, encode_frame, read_envelopes
 from ..protocols.registry import create_replica
 from ..statemachine import StateMachine
 from ..storage.log import CommandLog
@@ -48,6 +48,7 @@ class ReplicaServer:
         protocol_config: Optional[ProtocolConfig] = None,
         registry: Optional[MessageRegistry] = None,
         clock: Optional[Clock] = None,
+        batching: Optional[BatchingOptions] = None,
     ) -> None:
         self.replica_id = replica_id
         self.spec = spec
@@ -55,7 +56,9 @@ class ReplicaServer:
         self.protocol_config = protocol_config
         self.registry = registry or global_registry
         self.client_address = client_address
+        self.batching = batching
         self._client_server: Optional[asyncio.AbstractServer] = None
+        self._client_tasks: set[asyncio.Task] = set()
         self._pending: dict[CommandId, asyncio.Future] = {}
 
         if transport is None:
@@ -63,7 +66,10 @@ class ReplicaServer:
                 raise TransportError(
                     "either a transport or listen_address + peer_addresses is required"
                 )
-            transport = TcpTransport(replica_id, listen_address, peer_addresses, self.registry)
+            transport = TcpTransport(
+                replica_id, listen_address, peer_addresses, self.registry,
+                batching=batching,
+            )
         self.transport = transport
 
         replica = create_replica(
@@ -76,7 +82,9 @@ class ReplicaServer:
             config=protocol_config or ProtocolConfig(),
         )
         self.replica = replica
-        self.driver = AsyncReplicaDriver(replica, transport, on_reply=self._on_reply)
+        self.driver = AsyncReplicaDriver(
+            replica, transport, on_reply=self._on_reply, batching=batching
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,11 +129,16 @@ class ReplicaServer:
             recover=True,
         )
         self.replica = replica
-        self.driver = AsyncReplicaDriver(replica, self.transport, on_reply=self._on_reply)
+        self.driver = AsyncReplicaDriver(
+            replica, self.transport, on_reply=self._on_reply, batching=self.batching
+        )
         self.driver.start()
 
     async def stop(self) -> None:
         self.driver.stop()
+        for task in list(self._client_tasks):
+            task.cancel()
+        self._client_tasks.clear()
         if self._client_server is not None:
             self._client_server.close()
             await self._client_server.wait_closed()
@@ -168,23 +181,59 @@ class ReplicaServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one client connection, pipelined.
+
+        Requests are submitted as they arrive — the reader never waits for an
+        earlier command to commit — so a pipelining client
+        (:class:`~repro.runtime.client.ReplicatedKVClient` with
+        ``pipeline_depth > 1``) keeps several commands in flight on one
+        connection.  Responses are written as commands commit and are matched
+        by command id on the client side, so completion order is free to
+        differ from submission order.  Batch frames (several requests in one
+        length-prefixed envelope) are accepted transparently.
+        """
         peer = writer.get_extra_info("peername")
         _LOGGER.debug("client %s connected to replica %s", peer, self.replica_id)
-        try:
-            while True:
-                envelope = await read_frame(reader, self.registry)
-                request = envelope.message
-                if not isinstance(request, ClientRequest):
-                    _LOGGER.warning("replica %s got a non-request frame from %s", self.replica_id, peer)
-                    continue
+
+        async def respond(request: ClientRequest) -> None:
+            # Fail fast on any submission error, as the pre-pipelining
+            # endpoint did by letting exceptions tear down the connection: a
+            # silently dropped response would leave the remote client
+            # awaiting a reply that can never come.
+            try:
                 output = await self.submit(request.command)
                 response = ClientResponse(request.command.command_id, output)
+                if writer.is_closing():
+                    return
                 writer.write(
-                    encode_frame(
-                        Envelope(self.replica_id, -1, response), self.registry
-                    )
+                    encode_frame(Envelope(self.replica_id, -1, response), self.registry)
                 )
                 await writer.drain()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                _LOGGER.warning(
+                    "replica %s dropping client connection %s: %s",
+                    self.replica_id,
+                    peer,
+                    exc,
+                )
+                writer.close()
+
+        try:
+            while True:
+                for envelope in await read_envelopes(reader, self.registry):
+                    request = envelope.message
+                    if not isinstance(request, ClientRequest):
+                        _LOGGER.warning(
+                            "replica %s got a non-request frame from %s",
+                            self.replica_id,
+                            peer,
+                        )
+                        continue
+                    task = asyncio.create_task(respond(request))
+                    self._client_tasks.add(task)
+                    task.add_done_callback(self._client_tasks.discard)
         except (asyncio.IncompleteReadError, ConnectionResetError):
             _LOGGER.debug("client %s disconnected from replica %s", peer, self.replica_id)
         finally:

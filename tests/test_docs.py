@@ -102,9 +102,50 @@ def test_relative_links_resolve(page):
 
 
 def test_docs_tree_is_complete():
-    """The three reference pages exist and README links every one of them."""
+    """The reference pages exist and README links every one of them."""
     names = {path.name for path in DOCS}
-    assert {"ARCHITECTURE.md", "SPEC_REFERENCE.md", "PROTOCOLS.md"} <= names
+    assert {
+        "ARCHITECTURE.md",
+        "SPEC_REFERENCE.md",
+        "PROTOCOLS.md",
+        "PERFORMANCE.md",
+    } <= names
     readme = (REPO / "README.md").read_text()
     for name in sorted(names):
         assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+
+def _markdown_table(path: Path, header_prefix: str) -> list[dict[str, str]]:
+    """Parse the first Markdown table whose header starts with *header_prefix*."""
+    lines = path.read_text().splitlines()
+    start = next(
+        i for i, line in enumerate(lines) if line.strip().startswith(header_prefix)
+    )
+    normalize_key = lambda cell: cell.strip().lower().replace(" ", "_").replace("-", "_")
+    header = [normalize_key(c) for c in lines[start].strip().strip("|").split("|")]
+    rows = []
+    for line in lines[start + 2 :]:
+        if not line.strip().startswith("|"):
+            break
+        cells = [re.sub(r"[`*]", "", c).strip() for c in line.strip().strip("|").split("|")]
+        # "—" means no; extra prose after "yes" is ignored.
+        cells = ["-" if c in ("—", "") else c.split()[0] for c in cells]
+        rows.append(dict(zip(header, cells)))
+    return rows
+
+
+def test_protocols_capability_table_matches_registry():
+    """docs/PROTOCOLS.md's capability table equals the registry's rows.
+
+    `repro protocols` prints `capability_rows()` directly, so this single
+    check pins the doc table, the CLI table, and the registry together.
+    """
+    from repro.protocols.registry import capability_rows
+
+    documented = _markdown_table(REPO / "docs" / "PROTOCOLS.md", "| Protocol |")
+    key_map = {"broadcast_variant": "broadcast"}
+    normalized = [
+        {key_map.get(key, key): value for key, value in row.items()}
+        for row in documented
+    ]
+    assert normalized == capability_rows()
