@@ -154,7 +154,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     try:
         spec = _apply_shards(ExperimentSpec.from_file(args.spec), args.shards)
         spec = _apply_batch(spec, args.batch)
-        options = {"time_scale": args.time_scale} if args.backend == "async" else {}
+        options = (
+            {"time_scale": args.time_scale}
+            if args.backend in ("async", "proc")
+            else {}
+        )
         result = Deployment(spec, backend=args.backend, **options).run()
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
@@ -193,7 +197,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         for backend in backends:
             options = (
                 {"time_scale": args.time_scale, "submit_timeout": args.submit_timeout}
-                if backend == "async"
+                if backend in ("async", "proc")
                 else {}
             )
             run = check_spec(spec, backend=backend, **options)
@@ -311,7 +315,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", default="sim", choices=sorted(BACKENDS),
                      help="experiment backend (see the listing below)")
     run.add_argument("--time-scale", type=float, default=20.0,
-                     help="async backend: divide delays and durations by this factor")
+                     help="async/proc backends: divide delays and durations "
+                          "by this factor")
     run.add_argument("--shards", type=int, default=None,
                      help="override the spec's [sharding] shard count "
                           "(deploys N independent protocol groups)")
@@ -332,9 +337,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(BACKENDS) + ["both"],
                        help="backend(s) to run the spec on before checking")
     check.add_argument("--time-scale", type=float, default=20.0,
-                       help="async backend: divide delays and durations by this factor")
+                       help="async/proc backends: divide delays and durations "
+                            "by this factor")
     check.add_argument("--submit-timeout", type=float, default=5.0,
-                       help="async backend: per-command commit timeout in seconds")
+                       help="async/proc backends: per-command commit timeout "
+                            "in seconds")
     check.add_argument("--shards", type=int, default=None,
                        help="override the spec's [sharding] shard count "
                             "(checks per-shard linearizability)")

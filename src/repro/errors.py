@@ -62,6 +62,15 @@ class UnavailableError(ReproError):
     """The requested operation cannot currently be served (no quorum)."""
 
 
+class LaunchError(ReproError):
+    """A multi-process deployment failed (worker crash, handshake timeout).
+
+    Raised by :mod:`repro.launch` instead of hanging: a worker that dies or
+    stalls during any phase of the deployment surfaces here, after the
+    supervisor has torn every remaining process down.
+    """
+
+
 class ClientError(ReproError):
     """Client-side request failure (timeout, redirected, cancelled)."""
 
@@ -84,6 +93,7 @@ __all__ = [
     "ClockError",
     "ReconfigurationError",
     "UnavailableError",
+    "LaunchError",
     "ClientError",
     "RequestTimeout",
 ]

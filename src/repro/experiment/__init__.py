@@ -32,6 +32,7 @@ from .spec import (
     CpuSpec,
     ExperimentSpec,
     FaultSpec,
+    ProcessesSpec,
     ShardingSpec,
     ShardOverride,
     WorkloadSpec,
@@ -53,6 +54,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "FaultSpec",
+    "ProcessesSpec",
     "ShardingSpec",
     "ShardOverride",
     "SiteResult",

@@ -372,6 +372,18 @@ class AsyncBackend:
                 replica_metrics[rid] = {
                     "executed": float(cluster.servers[rid].replica.executed_count),
                 }
+                split = cluster.servers[rid].driver.latency_split()
+                if split is not None:
+                    # Wall seconds × time_scale → spec-time microseconds,
+                    # like every recorded latency.
+                    to_us = 1_000_000.0 * self.time_scale
+                    replica_metrics[rid].update(
+                        {
+                            "queue_wait_mean_us": round(split["queue_wait_s"] * to_us, 1),
+                            "protocol_mean_us": round(split["protocol_s"] * to_us, 1),
+                            "split_samples": split["samples"],
+                        }
+                    )
             if history is not None:
                 history.record_apply_orders(
                     {

@@ -8,9 +8,10 @@
     result = Deployment(spec).run()                      # simulator
     result = Deployment(spec, backend="async", time_scale=20).run()  # asyncio
 
-Backends are looked up by name in :data:`BACKENDS`; both ship with the
+Backends are looked up by name in :data:`BACKENDS`; all three ship with the
 library (``sim`` — the deterministic discrete-event simulator, ``async`` —
-live asyncio services in this process) and both return the same result
+live asyncio services in this process, ``proc`` — one OS process per replica
+over real TCP, see :mod:`repro.launch`) and all return the same result
 shape.
 """
 
@@ -24,10 +25,20 @@ from .result import ExperimentResult
 from .sim_backend import SimBackend
 from .spec import ExperimentSpec
 
+
+def _process_backend(**options: Any) -> Any:
+    # Imported lazily: repro.launch builds on this package, so a top-level
+    # import here would be circular — and most runs never spawn processes.
+    from ..launch.backend import ProcessBackend
+
+    return ProcessBackend(**options)
+
+
 #: Backend name -> factory; factories accept backend-specific options.
 BACKENDS: dict[str, Callable[..., Any]] = {
     SimBackend.name: SimBackend,
     AsyncBackend.name: AsyncBackend,
+    "proc": _process_backend,
 }
 
 

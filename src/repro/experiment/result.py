@@ -89,6 +89,30 @@ class ExperimentResult:
             raise ValueError(f"experiment {self.name!r} recorded no latency samples")
         return max(values)
 
+    def latency_split(self) -> Optional[dict[str, float]]:
+        """The queue-wait vs protocol-time split, averaged over replicas.
+
+        Backends that instrument their drivers (async, proc) report
+        per-replica ``queue_wait_mean_us`` / ``protocol_mean_us`` /
+        ``split_samples`` metrics; this reduces them to one sample-weighted
+        aggregate, or ``None`` when the backend recorded no split (sim).
+        """
+        queue_total = protocol_total = samples = 0.0
+        for metrics in self.replica_metrics.values():
+            n = metrics.get("split_samples", 0.0)
+            if n <= 0:
+                continue
+            queue_total += metrics.get("queue_wait_mean_us", 0.0) * n
+            protocol_total += metrics.get("protocol_mean_us", 0.0) * n
+            samples += n
+        if samples == 0:
+            return None
+        return {
+            "queue_wait_mean_us": round(queue_total / samples, 1),
+            "protocol_mean_us": round(protocol_total / samples, 1),
+            "samples": samples,
+        }
+
     # -- reporting ---------------------------------------------------------
 
     def per_site_rows(self) -> list[dict[str, Any]]:

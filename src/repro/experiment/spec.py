@@ -297,6 +297,39 @@ class CpuSpec:
     client_fixed: float = 2.0
 
 
+@dataclass(frozen=True, slots=True)
+class ProcessesSpec:
+    """The ``[processes]`` table: multi-process deployment parameters.
+
+    Consumed by the ``proc`` backend (:mod:`repro.launch`), which runs every
+    replica — and, composed with ``[sharding]``, every shard group's replicas
+    — as its own OS process over real TCP.  Inert on the sim and async
+    backends, so one spec file moves freely between all three.
+
+    * ``host`` — the interface replicas bind and the supervisor listens on.
+      Processes are always co-located on one machine in this repo, so the
+      loopback default is right unless a firewall policy says otherwise.
+    * ``startup_timeout_s`` — how long the supervisor waits for each phase of
+      a worker's handshake (spawn → hello → bound → running) before declaring
+      the deployment failed and tearing everything down.
+    * ``shutdown_grace_s`` — how long a worker gets to drain and exit after
+      the supervisor asks (then SIGTERM, then after another grace SIGKILL —
+      teardown always terminates).
+    """
+
+    host: str = "127.0.0.1"
+    startup_timeout_s: float = 20.0
+    shutdown_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("processes.host must be non-empty")
+        if self.startup_timeout_s <= 0:
+            raise ConfigurationError("processes.startup_timeout_s must be positive")
+        if self.shutdown_grace_s <= 0:
+            raise ConfigurationError("processes.shutdown_grace_s must be positive")
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A complete, declarative description of one experiment run.
@@ -332,6 +365,10 @@ class ExperimentSpec:
     #: ``max_batch = 1``) runs one protocol round per command.  Composes
     #: with ``sharding``: every shard group batches independently.
     batching: Optional[BatchingSpec] = None
+    #: Multi-process deployment parameters for the ``proc`` backend
+    #: (:mod:`repro.launch`); ``None`` means its defaults.  Inert on the
+    #: sim and async backends.
+    processes: Optional[ProcessesSpec] = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -556,6 +593,8 @@ class ExperimentSpec:
             data["sharding"] = table
         if self.batching is not None:
             data["batching"] = asdict(self.batching)
+        if self.processes is not None:
+            data["processes"] = asdict(self.processes)
         # TOML has no null: drop None-valued optional keys everywhere (and
         # the clock-jump-only offset_ms when it is at its 0.0 default).
         data["workload"] = {
@@ -580,7 +619,7 @@ class ExperimentSpec:
             "jitter_fraction", "clocks", "workload", "faults", "cpu",
             "duration_s", "warmup_s", "seed", "clocktime_interval_ms",
             "wait_for_clock", "cdf_sites", "record_history", "sharding",
-            "batching",
+            "batching", "processes",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -593,7 +632,7 @@ class ExperimentSpec:
             for key in known
             - {
                 "sites", "clocks", "workload", "faults", "cpu", "cdf_sites",
-                "sharding", "batching",
+                "sharding", "batching", "processes",
             }
             if key in data
         }
@@ -622,6 +661,8 @@ class ExperimentSpec:
             kwargs["sharding"] = _build_sharding(data["sharding"])
         if "batching" in data:
             kwargs["batching"] = _build(BatchingSpec, data["batching"], "batching")
+        if "processes" in data:
+            kwargs["processes"] = _build(ProcessesSpec, data["processes"], "processes")
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -710,6 +751,7 @@ __all__ = [
     "FaultSpec",
     "BatchingSpec",
     "CpuSpec",
+    "ProcessesSpec",
     "ShardOverride",
     "ShardingSpec",
     "ExperimentSpec",

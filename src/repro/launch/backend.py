@@ -1,0 +1,166 @@
+"""The ``proc`` deployment backend: one OS process per replica, real TCP.
+
+:class:`ProcessBackend` reads the same :class:`~repro.experiment.spec.
+ExperimentSpec` as the sim and async backends and reduces the workers'
+shipped payloads (see :mod:`repro.launch.worker`) to the uniform
+:class:`~repro.experiment.result.ExperimentResult`.  What differs from the
+async backend is *where* things run: every replica server and its site's
+workload clients live in their own process, so protocol execution, state
+machine application and serialization use real OS parallelism instead of
+sharing one event loop.
+
+Like the async backend, wall time is the clock: a ``time_scale`` divides
+durations and think times going in and multiplies recorded latencies coming
+back out.  Unlike the async backend, the spec's latency matrix is **not**
+injected — messages cross the real loopback stack, which is the point — and
+fault schedules are rejected outright (killing processes mid-run is the
+supervisor's error path, not a workload feature yet).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from ..checker.history import OpHistory, OpRecord
+from ..errors import ConfigurationError
+from ..metrics.stats import LatencySummary, cdf_points, summarize_micros
+from ..types import CommandId, ReplicaId, micros_to_ms
+from .supervisor import Supervisor
+from ..experiment.result import ExperimentResult, SiteResult
+from ..experiment.spec import ExperimentSpec
+
+
+class ProcessBackend:
+    """Runs experiments as one OS process per replica over real TCP.
+
+    Args:
+        time_scale: Divide durations and think times by this factor;
+            recorded latencies are scaled back into spec-time units.
+        submit_timeout: Per-command commit timeout in (unscaled) seconds.
+    """
+
+    name = "proc"
+
+    def __init__(self, time_scale: float = 1.0, submit_timeout: float = 30.0) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+        self.time_scale = time_scale
+        self.submit_timeout = submit_timeout
+
+    def _check_supported(self, spec: ExperimentSpec) -> None:
+        if spec.faults:
+            raise ConfigurationError(
+                "the proc backend cannot inject fault schedules; run this "
+                "spec on the sim or async backend"
+            )
+        if spec.cpu is not None:
+            raise ConfigurationError(
+                "the proc backend has no CPU cost model (real processes are "
+                "the CPU); remove the [cpu] section or use the sim backend"
+            )
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        return asyncio.run(self.run_in_loop(spec))
+
+    async def run_in_loop(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Deploy one spec's processes inside the current event loop.
+
+        Several invocations can be gathered concurrently — each runs its own
+        supervisor and worker set — which is how sharded deployments put
+        every shard group in its own set of processes.
+        """
+        self._check_supported(spec)
+        loop = asyncio.get_running_loop()
+        start_wall = loop.time()
+        supervisor = Supervisor(
+            spec, time_scale=self.time_scale, submit_timeout=self.submit_timeout
+        )
+        payloads = await supervisor.run()
+        return self._assemble(spec, payloads, supervisor, loop.time() - start_wall)
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        spec: ExperimentSpec,
+        payloads: dict[ReplicaId, dict[str, Any]],
+        supervisor: Supervisor,
+        wall_clock_s: float,
+    ) -> ExperimentResult:
+        sites: dict[str, SiteResult] = {}
+        replica_metrics: dict[ReplicaId, dict[str, float]] = {}
+        history: Optional[OpHistory] = OpHistory() if spec.record_history else None
+        apply_orders: dict[ReplicaId, tuple[CommandId, ...]] = {}
+        total = 0
+
+        for replica_spec in spec.cluster_spec().replicas:
+            rid = replica_spec.replica_id
+            payload = payloads[rid]
+            latencies = [int(v) for v in payload.get("latencies_us", [])]
+            total += len(latencies)
+            summary: Optional[LatencySummary] = None
+            cdf = None
+            if latencies:
+                summary = summarize_micros(latencies)
+                if replica_spec.site in spec.cdf_sites:
+                    cdf = cdf_points([micros_to_ms(v) for v in latencies])
+            sites[replica_spec.site] = SiteResult(
+                site=replica_spec.site,
+                replica_id=rid,
+                committed=len(latencies),
+                summary=summary,
+                cdf_ms=cdf,
+            )
+            replica_metrics[rid] = {"executed": float(payload.get("executed", 0.0))}
+            split = payload.get("split")
+            if split is not None:
+                to_us = 1_000_000.0 * self.time_scale
+                replica_metrics[rid].update(
+                    {
+                        "queue_wait_mean_us": round(split["queue_wait_s"] * to_us, 1),
+                        "protocol_mean_us": round(split["protocol_s"] * to_us, 1),
+                        "split_samples": float(split["samples"]),
+                    }
+                )
+            if history is not None and payload.get("history") is not None:
+                for record in OpHistory.from_dict(payload["history"]).ops:
+                    history.add(record)
+                apply_orders[rid] = tuple(
+                    CommandId(client, seqno)
+                    for client, seqno in payload.get("apply_order", [])
+                )
+
+        if history is not None:
+            history.record_apply_orders(apply_orders)
+
+        return ExperimentResult(
+            name=spec.name,
+            protocol=spec.protocol,
+            backend=self.name,
+            duration_s=spec.duration_s,
+            sites=sites,
+            total_committed=total,
+            throughput_kops=total / spec.duration_s / 1_000.0,
+            replica_metrics=replica_metrics,
+            metadata={
+                "seed": spec.seed,
+                "time_scale": self.time_scale,
+                "wall_clock_s": round(wall_clock_s, 3),
+                # Real loopback TCP carries the messages: neither the spec's
+                # latency matrix nor its synthetic jitter is injected.
+                "latency_applied": False,
+                "jitter_applied": False,
+                "host": supervisor.processes.host,
+                "workers": {
+                    str(rid): dict(outcome)
+                    for rid, outcome in sorted(supervisor.worker_exits.items())
+                },
+            },
+            history=history,
+        )
+
+
+__all__ = ["ProcessBackend"]

@@ -1,0 +1,297 @@
+"""The per-replica worker process (``python -m repro.launch.worker``).
+
+One worker runs one replica of the experiment as its own OS process: a
+:class:`~repro.runtime.server.ReplicaServer` over a real
+:class:`~repro.net.tcp.TcpTransport`, plus the workload clients of its own
+site (clients are co-located with their replica so client traffic scales
+with the process count instead of funnelling through the supervisor).
+
+The worker is driven entirely by the supervisor over the control channel:
+
+1. connect back (with retry) and send ``hello`` (replica id, token, pid);
+2. receive ``setup`` — the full serialized spec, this worker's replica id,
+   ``time_scale`` and ``submit_timeout``;
+3. bind the replica transport on an ephemeral port and report ``bound``
+   (bind-then-report makes port allocation race-free by construction);
+4. receive ``peers`` (every replica's bound address), start the replica
+   server, report ``running``;
+5. receive ``run``, play this site's workload for the spec's warmup plus
+   duration (scaled), drain, and ship ``result`` — raw spec-time latencies,
+   executed counts, the driver's queue-wait/protocol-time split, and (when
+   the spec records history) this site's operation history and the
+   replica's apply order;
+6. receive ``exit`` and stop cleanly.
+
+A failure in any phase is reported as an ``error`` message (with the
+traceback) before the worker exits non-zero; SIGTERM at any point tears the
+worker down gracefully.  The spec's latency matrix is *not* injected —
+message delay in process mode is the real network stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import logging
+import os
+import random
+import signal
+import sys
+import traceback
+from typing import Any, Optional
+
+from ..checker.history import OpHistory
+from ..config import ProtocolConfig
+from ..errors import RequestTimeout
+from ..experiment.async_backend import AsyncBackend
+from ..experiment.spec import ExperimentSpec, ProcessesSpec
+from ..metrics.collector import LatencyCollector
+from ..net.tcp import TcpTransport
+from ..runtime.server import ReplicaServer
+from ..types import Command, CommandId, ms_to_micros
+from ..workload.apps import payload_factory, state_machine_factory
+from .control import connect_with_retry, expect, send_json
+
+_LOGGER = logging.getLogger(__name__)
+
+
+def _scaled_protocol_config(spec: ExperimentSpec, time_scale: float) -> ProtocolConfig:
+    """The spec's protocol config with time-valued knobs in wall-clock units."""
+    config = spec.protocol_config()
+    return ProtocolConfig(
+        leader=config.leader,
+        clocktime_interval=max(
+            ms_to_micros(1.0), int(config.clocktime_interval / time_scale)
+        ),
+        wait_for_clock=config.wait_for_clock,
+    )
+
+
+async def _run_workload(
+    spec: ExperimentSpec,
+    server: ReplicaServer,
+    rid: int,
+    site: str,
+    time_scale: float,
+    submit_timeout: float,
+) -> dict[str, Any]:
+    """Play this site's share of the workload; return the result payload.
+
+    Mirrors the async backend's client model exactly (same scenarios, same
+    per-client seeded streams, same commit cutoff) so proc and async results
+    are comparable run for run.
+    """
+    workload = spec.workload
+    collector = LatencyCollector(warmup_until=spec.warmup_micros)
+    loop = asyncio.get_running_loop()
+    start_wall = loop.time()
+
+    def virtual_micros() -> int:
+        return int((loop.time() - start_wall) * time_scale * 1_000_000)
+
+    uid = itertools.count(1)
+    app_payloads = payload_factory(workload.app, workload.payload_size)
+    history = OpHistory() if spec.record_history else None
+
+    def make_payload(rng: random.Random) -> bytes:
+        if app_payloads is not None:
+            return app_payloads(rng)
+        return bytes(workload.payload_size)
+
+    stop = asyncio.Event()
+    pipeline_depth = spec.batching.pipeline_depth if spec.batching is not None else 1
+
+    async def run_command(name: str, rng: random.Random) -> None:
+        command = Command(CommandId(name, next(uid)), make_payload(rng))
+        collector.record_submit(command.command_id, rid, virtual_micros())
+        if history is not None:
+            history.invoke(command.command_id, rid, command.payload, virtual_micros())
+        try:
+            output = await server.submit(command, timeout=submit_timeout)
+        except RequestTimeout:
+            if history is not None:
+                history.fail(command.command_id, virtual_micros())
+            return
+        committed_at = virtual_micros()
+        if history is not None:
+            history.complete(command.command_id, output, committed_at)
+        if committed_at <= spec.total_runtime_micros:
+            collector.record_commit(command.command_id, committed_at)
+
+    async def client(index: int, think: bool) -> None:
+        rng = random.Random(spec.seed * 1_000_003 + rid * 1_009 + index)
+        think_min = workload.think_time_min_ms / 1_000.0 / time_scale
+        think_max = workload.think_time_max_ms / 1_000.0 / time_scale
+        name = f"{spec.name}/{site}/proc{index}"
+        in_flight: set[asyncio.Task] = set()
+        while not stop.is_set():
+            if think and think_max > 0:
+                await asyncio.sleep(rng.uniform(think_min, think_max))
+            if pipeline_depth == 1:
+                await run_command(name, rng)
+                continue
+            in_flight.add(asyncio.create_task(run_command(name, rng)))
+            if len(in_flight) >= pipeline_depth:
+                done, in_flight = await asyncio.wait(
+                    in_flight, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    task.result()
+        if in_flight:
+            await asyncio.gather(*in_flight, return_exceptions=True)
+
+    tasks: list[asyncio.Task] = []
+    serves_clients = not (
+        workload.scenario == "imbalanced" and site != workload.origin_site
+    )
+    if serves_clients:
+        if workload.scenario == "saturating":
+            count, think = workload.outstanding_per_site, False
+        else:
+            count, think = workload.clients_per_site, True
+        for index in range(count):
+            tasks.append(asyncio.create_task(client(index, think)))
+
+    await asyncio.sleep((spec.warmup_s + spec.duration_s) / time_scale)
+    stop.set()
+    if tasks:
+        _done, pending = await asyncio.wait(tasks, timeout=submit_timeout)
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    payload: dict[str, Any] = {
+        "type": "result",
+        "site": site,
+        "replica_id": rid,
+        "latencies_us": collector.latencies_micros(rid),
+        "executed": float(server.replica.executed_count),
+        "wall_clock_s": round(loop.time() - start_wall, 3),
+    }
+    split = server.driver.latency_split()
+    if split is not None:
+        payload["split"] = split
+    if history is not None:
+        payload["history"] = history.to_dict()
+        payload["apply_order"] = [
+            [cid.client, cid.seqno] for cid in server.replica.execution_order
+        ]
+    return payload
+
+
+async def run_worker(supervisor: str, replica_id: int, token: str) -> None:
+    """Run one worker's full conversation with the supervisor."""
+    host, _, port = supervisor.rpartition(":")
+    reader, writer = await connect_with_retry(host, int(port), timeout=20.0)
+    server: Optional[ReplicaServer] = None
+    try:
+        await send_json(
+            writer,
+            {"type": "hello", "replica_id": replica_id, "token": token,
+             "pid": os.getpid()},
+        )
+        setup = await expect(reader, "setup", timeout=60.0, who="supervisor")
+        spec = ExperimentSpec.from_dict(setup["spec"])
+        time_scale = float(setup["time_scale"])
+        submit_timeout = float(setup["submit_timeout"])
+        processes = spec.processes or ProcessesSpec()
+
+        # The async backend already knows how to scale clocks and batching
+        # windows from spec time to wall time; reuse its rules verbatim.
+        scaling = AsyncBackend(time_scale=time_scale, submit_timeout=submit_timeout)
+        batching = scaling._scaled_batching(spec)
+        clock_factory = scaling._clock_factory(spec)
+
+        transport = TcpTransport(
+            replica_id,
+            f"{processes.host}:0",
+            {},
+            batching=batching,
+            connect_retries=40,
+            connect_backoff_s=0.05,
+        )
+        await transport.start()
+        await send_json(writer, {"type": "bound", "address": transport.bound_address})
+
+        peers = await expect(reader, "peers", timeout=60.0, who="supervisor")
+        transport.set_peers({int(r): a for r, a in peers["peers"].items()})
+
+        cluster_spec = spec.cluster_spec()
+        site = cluster_spec.replica(replica_id).site
+        server = ReplicaServer(
+            spec.protocol,
+            replica_id,
+            cluster_spec,
+            state_machine_factory(spec.workload.app)(replica_id),
+            transport=transport,
+            protocol_config=_scaled_protocol_config(spec, time_scale),
+            clock=clock_factory(replica_id) if clock_factory is not None else None,
+            batching=batching,
+        )
+        await server.start()
+        await send_json(writer, {"type": "running"})
+
+        await expect(reader, "run", timeout=120.0, who="supervisor")
+        result = await _run_workload(
+            spec, server, replica_id, site, time_scale, submit_timeout
+        )
+        await send_json(writer, result)
+
+        await expect(reader, "exit", timeout=120.0, who="supervisor")
+    except asyncio.CancelledError:
+        _LOGGER.info("worker %s interrupted; shutting down", replica_id)
+        raise
+    except Exception as exc:
+        _LOGGER.error("worker %s failed: %s", replica_id, exc)
+        try:
+            await send_json(
+                writer,
+                {"type": "error", "error": str(exc),
+                 "traceback": traceback.format_exc()},
+            )
+        except Exception:  # pragma: no cover - channel already gone
+            pass
+        raise
+    finally:
+        if server is not None:
+            await server.stop()
+        writer.close()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.launch.worker",
+        description="One replica process of a multi-process deployment.",
+    )
+    parser.add_argument("--supervisor", required=True, help="host:port to report to")
+    parser.add_argument("--replica-id", type=int, required=True)
+    parser.add_argument("--token", required=True, help="deployment token")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=logging.WARNING,
+        format=f"worker[{args.replica_id}] %(levelname)s %(name)s: %(message)s",
+    )
+
+    async def runner() -> int:
+        task = asyncio.ensure_future(
+            run_worker(args.supervisor, args.replica_id, args.token)
+        )
+        loop = asyncio.get_running_loop()
+        # A SIGTERM from the supervisor is a polite teardown request: cancel
+        # the conversation, let the finally blocks stop the server, exit 0.
+        loop.add_signal_handler(signal.SIGTERM, task.cancel)
+        try:
+            await task
+            return 0
+        except asyncio.CancelledError:
+            return 0
+        except Exception:
+            return 1
+
+    return asyncio.run(runner())
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

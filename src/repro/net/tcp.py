@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import struct
+from collections import deque
 from typing import Optional
 
 from ..config import BatchingOptions
@@ -151,30 +152,57 @@ class TcpTransport(Transport):
         peer_addresses: dict[ReplicaId, str],
         registry: Optional[MessageRegistry] = None,
         batching: Optional[BatchingOptions] = None,
+        connect_retries: int = 0,
+        connect_backoff_s: float = 0.05,
     ) -> None:
         super().__init__(local_id)
         self._listen_host, self._listen_port = _split_address(listen_address)
         self._peer_addresses = dict(peer_addresses)
         self._registry = registry or global_registry
         self._batching = batching if batching is not None and batching.enabled else None
+        self._connect_retries = connect_retries
+        self._connect_backoff_s = connect_backoff_s
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: dict[ReplicaId, asyncio.StreamWriter] = {}
+        self._connect_locks: dict[ReplicaId, asyncio.Lock] = {}
+        self._outbound: dict[ReplicaId, deque[list[Envelope]]] = {}
+        self._senders: dict[ReplicaId, asyncio.Task] = {}
         self._accumulators: dict[ReplicaId, BatchAccumulator[Envelope]] = {}
+        self._early: list[Envelope] = []
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Start listening for inbound peer connections."""
+        """Start listening for inbound peer connections (idempotent)."""
+        if self._server is not None:
+            return
         self._server = await asyncio.start_server(
             self._handle_connection, self._listen_host, self._listen_port
         )
         _LOGGER.info("replica %s listening on %s:%s", self.local_id, self._listen_host, self._listen_port)
 
+    @property
+    def bound_address(self) -> str:
+        """The actual listen address (resolves an ephemeral port 0 request)."""
+        if self._server is None or not self._server.sockets:
+            raise TransportError(f"replica {self.local_id} transport not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        # Report the configured host: a wildcard bind keeps its request name.
+        return f"{self._listen_host}:{port}"
+
+    def set_peers(self, peer_addresses: dict[ReplicaId, str]) -> None:
+        """Install or update peer addresses (used once ephemeral ports are known)."""
+        self._peer_addresses.update(peer_addresses)
+
     async def stop(self) -> None:
         self._closed = True
         for accumulator in self._accumulators.values():
             accumulator.clear()
+        for task in self._senders.values():
+            task.cancel()
+        self._senders.clear()
+        self._outbound.clear()
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
@@ -189,74 +217,127 @@ class TcpTransport(Transport):
             accumulator.clear()
 
     # -- sending -------------------------------------------------------------
+    #
+    # Per-destination FIFO is a correctness requirement, not a nicety:
+    # Clock-RSM's stability rule (LatestTV) assumes each replica's messages
+    # arrive in non-decreasing clock-reading order, which holds iff the
+    # channel preserves send order.  A task-per-envelope design breaks this
+    # while a connection is being established — sends issued during the
+    # connect park on the lock and are woken one by one, while sends issued
+    # just after it completes find the cached writer and write immediately,
+    # jumping the queue.  So every destination gets one outbound queue
+    # drained by a single sender task: order is preserved by construction,
+    # through connection setup, retries, and reconnects alike.
 
     def send(self, envelope: Envelope) -> None:
-        """Queue an envelope; the actual write happens as an asyncio task."""
+        """Queue an envelope; the actual write happens on the sender task."""
         if envelope.dst == self.local_id:
             self._dispatch(envelope)
             return
         if self._batching is None:
-            asyncio.get_running_loop().create_task(self._send_async(envelope))
+            self._enqueue(envelope.dst, [envelope])
             return
         accumulator = self._accumulators.get(envelope.dst)
         if accumulator is None:
             accumulator = BatchAccumulator(
                 self._batching,
-                lambda envelopes, dst=envelope.dst: self._send_group(dst, envelopes),
+                lambda envelopes, dst=envelope.dst: self._enqueue(dst, envelopes),
             )
             self._accumulators[envelope.dst] = accumulator
         accumulator.add(envelope)
 
-    def _send_group(self, dst: ReplicaId, envelopes: list[Envelope]) -> None:
-        if not self._closed:
-            asyncio.get_running_loop().create_task(self._send_coalesced(dst, envelopes))
+    def _enqueue(self, dst: ReplicaId, envelopes: list[Envelope]) -> None:
+        """Append a write unit to ``dst``'s queue and ensure its drainer runs."""
+        if self._closed:
+            return
+        self._outbound.setdefault(dst, deque()).append(envelopes)
+        task = self._senders.get(dst)
+        if task is None or task.done():
+            self._senders[dst] = asyncio.get_running_loop().create_task(
+                self._drain_outbound(dst)
+            )
 
-    async def _send_coalesced(self, dst: ReplicaId, envelopes: list[Envelope]) -> None:
-        """One write carrying a flushed group (≤ max_batch envelopes)."""
-        try:
-            writer = await self._writer_for(dst)
+    async def _drain_outbound(self, dst: ReplicaId) -> None:
+        """Write ``dst``'s queued units in order; exits when the queue drains."""
+        queue = self._outbound[dst]
+        while queue and not self._closed:
+            try:
+                writer = await self._writer_for(dst)
+            except (OSError, TransportError) as exc:
+                _LOGGER.warning(
+                    "replica %s cannot reach %s, dropping %d queued writes: %s",
+                    self.local_id,
+                    dst,
+                    len(queue),
+                    exc,
+                )
+                queue.clear()
+                return
+            envelopes = queue.popleft()
             if len(envelopes) == 1:
                 frame = encode_frame(envelopes[0], self._registry)
             else:
                 frame = encode_batch_frame(EnvelopeBatch.of(envelopes), self._registry)
-            writer.write(frame)
-            await writer.drain()
-        except (OSError, TransportError, asyncio.IncompleteReadError) as exc:
-            _LOGGER.warning(
-                "replica %s failed to send %d coalesced messages to %s: %s",
-                self.local_id,
-                len(envelopes),
-                dst,
-                exc,
-            )
-            self._writers.pop(dst, None)
-
-    async def _send_async(self, envelope: Envelope) -> None:
-        if self._closed:
-            return
-        try:
-            writer = await self._writer_for(envelope.dst)
-            writer.write(encode_frame(envelope, self._registry))
-            await writer.drain()
-        except (OSError, TransportError, asyncio.IncompleteReadError) as exc:
-            _LOGGER.warning(
-                "replica %s failed to send to %s: %s", self.local_id, envelope.dst, exc
-            )
-            self._writers.pop(envelope.dst, None)
+            try:
+                writer.write(frame)
+                await writer.drain()
+            except (OSError, TransportError, asyncio.IncompleteReadError) as exc:
+                _LOGGER.warning(
+                    "replica %s failed to send %d message(s) to %s: %s",
+                    self.local_id,
+                    len(envelopes),
+                    dst,
+                    exc,
+                )
+                self._writers.pop(dst, None)
 
     async def _writer_for(self, dst: ReplicaId) -> asyncio.StreamWriter:
         writer = self._writers.get(dst)
         if writer is not None and not writer.is_closing():
             return writer
-        address = self._peer_addresses.get(dst)
-        if address is None:
-            raise TransportError(f"no address configured for replica {dst}")
-        host, port = _split_address(address)
-        _, writer = await asyncio.open_connection(host, port)
-        self._writers[dst] = writer
-        return writer
+        # One connection attempt per destination at a time: without the lock,
+        # two concurrent sends each open a connection and the loser's writer
+        # leaks (the peer then sees a duplicate inbound connection).
+        lock = self._connect_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is not None and not writer.is_closing():
+                return writer
+            address = self._peer_addresses.get(dst)
+            if address is None:
+                raise TransportError(f"no address configured for replica {dst}")
+            host, port = _split_address(address)
+            attempt = 0
+            while True:
+                try:
+                    _, writer = await asyncio.open_connection(host, port)
+                    break
+                except OSError:
+                    # The peer may not be listening yet (process-mode replicas
+                    # start concurrently); back off and retry within budget.
+                    if attempt >= self._connect_retries or self._closed:
+                        raise
+                    attempt += 1
+                    await asyncio.sleep(self._connect_backoff_s * attempt)
+            self._writers[dst] = writer
+            return writer
 
     # -- receiving -----------------------------------------------------------
+
+    def set_handler(self, handler) -> None:
+        super().set_handler(handler)
+        early, self._early = self._early, []
+        for envelope in early:
+            handler(envelope)
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        # A peer can connect and speak before this replica's protocol handler
+        # is wired up (process-mode replicas start concurrently); buffer such
+        # envelopes instead of raising, and flush them on set_handler.
+        if self._handler is None:
+            self._early.append(envelope)
+            return
+        self._handler(envelope)
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

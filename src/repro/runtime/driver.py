@@ -19,7 +19,9 @@ through the protocol naturally.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import logging
+import time
 from typing import Any, Callable, Optional
 
 from ..config import BatchingOptions
@@ -63,6 +65,14 @@ class AsyncReplicaDriver:
         )
         self._timer_handles: list[asyncio.TimerHandle] = []
         self._started = False
+        # Queue-wait vs protocol-time split: wall timestamps of each command's
+        # submission (joins the accumulator) and proposal (reaches the
+        # replica), settled when its ClientReply comes back.
+        self._submitted_at: dict[CommandId, float] = {}
+        self._proposed_at: dict[CommandId, float] = {}
+        self._split_queue_total = 0.0
+        self._split_protocol_total = 0.0
+        self._split_samples = 0
         transport.set_handler(self._on_envelope)
 
     # -- lifecycle -----------------------------------------------------------------
@@ -82,7 +92,27 @@ class AsyncReplicaDriver:
         for handle in self._timer_handles:
             handle.cancel()
         self._timer_handles.clear()
+        self._submitted_at.clear()
+        self._proposed_at.clear()
         self.transport.close()
+
+    # -- latency split -------------------------------------------------------
+
+    def latency_split(self) -> Optional[dict[str, float]]:
+        """Mean queue-wait and protocol-time per replied command, in seconds.
+
+        *Queue wait* is submission → proposal (time spent in the batching
+        accumulator; zero without batching), *protocol time* is proposal →
+        client reply (consensus plus execution).  ``None`` until at least one
+        command has been replied to.
+        """
+        if self._split_samples == 0:
+            return None
+        return {
+            "queue_wait_s": self._split_queue_total / self._split_samples,
+            "protocol_s": self._split_protocol_total / self._split_samples,
+            "samples": float(self._split_samples),
+        }
 
     # -- inputs ---------------------------------------------------------------------
 
@@ -95,7 +125,16 @@ class AsyncReplicaDriver:
         """
         if self.replica.stopped:
             return
+        now = time.monotonic()
+        # Commands whose reply never arrives (crash, timeout) would pin their
+        # timestamps forever; shed the oldest half past a generous bound.
+        if len(self._submitted_at) > 65536:
+            for key in list(itertools.islice(iter(self._submitted_at), 32768)):
+                self._submitted_at.pop(key, None)
+                self._proposed_at.pop(key, None)
+        self._submitted_at[command.command_id] = now
         if self._accumulator is None:
+            self._proposed_at[command.command_id] = now  # no queue: wait is 0
             self._perform(self.replica.on_client_request(command))
         else:
             self._accumulator.add(command)
@@ -104,6 +143,10 @@ class AsyncReplicaDriver:
         """Propose flushed commands as one unit (batch or single)."""
         if self.replica.stopped:
             return
+        now = time.monotonic()
+        for command in commands:
+            if command.command_id in self._submitted_at:
+                self._proposed_at[command.command_id] = now
         self._perform(self.replica.on_client_request(make_unit(commands)))
 
     def _on_envelope(self, envelope: Envelope) -> None:
@@ -120,23 +163,53 @@ class AsyncReplicaDriver:
     # -- action execution --------------------------------------------------------------
 
     def _perform(self, actions: list[Action]) -> None:
+        # Self-addressed envelopes are delivered synchronously by the
+        # transport, re-entering the replica, which may immediately generate
+        # follow-up sends — e.g. handling our own PREPARE broadcasts the
+        # PREPAREOK, whose clock reading is larger than the PREPARE's
+        # timestamp.  Those nested sends must reach every peer *after* the
+        # sends of this batch (Clock-RSM's stability rule assumes a replica's
+        # messages carry non-decreasing clock readings in arrival order), so
+        # all network sends are enqueued first and self-deliveries deferred
+        # to the end of the batch.
+        local = self.replica.replica_id
+        deferred: list[Envelope] = []
         for action in actions:
             if isinstance(action, Send):
-                self.transport.send(
-                    Envelope(self.replica.replica_id, action.dst, action.message)
-                )
+                envelope = Envelope(local, action.dst, action.message)
+                if action.dst == local:
+                    deferred.append(envelope)
+                else:
+                    self.transport.send(envelope)
             elif isinstance(action, Broadcast):
+                include_self = False
                 for dst in self.replica.broadcast_targets(action.include_self):
-                    self.transport.send(
-                        Envelope(self.replica.replica_id, dst, action.message)
-                    )
+                    if dst == local:
+                        include_self = True
+                        continue
+                    self.transport.send(Envelope(local, dst, action.message))
+                if include_self:
+                    deferred.append(Envelope(local, local, action.message))
             elif isinstance(action, ClientReply):
+                self._settle_split(action.command_id)
                 if self.on_reply is not None:
                     self.on_reply(action.command_id, action.output)
             elif isinstance(action, SetTimer):
                 self._set_timer(action)
             else:  # pragma: no cover - defensive
                 _LOGGER.warning("unknown action %r", action)
+        for envelope in deferred:
+            self.transport.send(envelope)
+
+    def _settle_split(self, command_id: CommandId) -> None:
+        submitted = self._submitted_at.pop(command_id, None)
+        proposed = self._proposed_at.pop(command_id, None)
+        if submitted is None or proposed is None:
+            return  # a retransmitted / recovered reply we never timed
+        now = time.monotonic()
+        self._split_queue_total += proposed - submitted
+        self._split_protocol_total += now - proposed
+        self._split_samples += 1
 
     def _set_timer(self, action: SetTimer) -> None:
         loop = asyncio.get_running_loop()

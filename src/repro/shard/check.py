@@ -5,10 +5,14 @@ linearizable iff its per-object sub-histories are (Herlihy & Wing 1990,
 Theorem 1), and the shard router keeps every key on exactly one shard.  A
 sharded run is therefore checked shard by shard — each shard group's
 history, with its own apply orders, goes through the ordinary
-:func:`repro.checker.check_history` — plus one cross-shard sanity pass:
-every client must remain *sequential* (it never invokes an operation before
-its previous operation returned), because the per-shard checks silently
-assume it and a broken client harness would otherwise vacuously pass.
+:func:`repro.checker.check_history` — plus one cross-shard sanity pass over
+client ordering, because the per-shard checks silently assume a sane client
+harness and a broken one would otherwise vacuously pass.  The pass adapts to
+the workload: closed-loop clients must be *sequential* (never invoking an
+operation before the previous one returned), while open-loop clients
+(saturating windows, pipelined submissions) are only required to invoke in
+submission (seqno) order — demanding sequentiality of them would false-flag
+healthy runs (see :func:`spec_is_closed_loop`).
 
 What sharding deliberately gives up is also visible here: there is no total
 order *across* shards, so no cross-shard snapshot guarantee is checked —
@@ -50,14 +54,25 @@ def split_history(history: OpHistory, router: ShardRouter) -> dict[int, OpHistor
     return shards
 
 
-def client_order_violation(histories: Sequence[OpHistory]) -> Optional[str]:
-    """Check that every client stayed sequential across all shards.
+def client_order_violation(
+    histories: Sequence[OpHistory], closed_loop: bool = True
+) -> Optional[str]:
+    """Check that every client's operation stream is properly ordered.
 
-    Returns a description of the first violation — a client invoking an
-    operation before its previous operation (possibly on another shard)
-    returned — or ``None`` when every client's operations are properly
-    ordered.  Operations still pending when the run ended terminate their
-    client's stream, so they constrain nothing.
+    With ``closed_loop=True`` (the default), a client must be *sequential*:
+    it never invokes an operation before its previous operation (possibly on
+    another shard) returned.  Operations still pending when the run ended
+    terminate their client's stream, so they constrain nothing.
+
+    With ``closed_loop=False`` — saturating workloads and pipelined clients,
+    which intentionally keep a window of operations outstanding — the
+    sequential condition does not hold and must not be demanded: the
+    invariant an open-loop client still guarantees is that its seqnos are
+    assigned in submission order, so invocation times must be non-decreasing
+    in seqno.  Demanding the closed-loop condition of an open-loop run
+    false-flags perfectly healthy histories (the PR-4 gap).
+
+    Returns a description of the first violation, or ``None``.
     """
     by_client: dict[str, list] = {}
     for history in histories:
@@ -67,18 +82,40 @@ def client_order_violation(histories: Sequence[OpHistory]) -> Optional[str]:
         ops.sort(key=lambda op: op.seqno)
         previous = None
         for op in ops:
-            if (
-                previous is not None
-                and previous.returned_at is not None
-                and op.invoked_at < previous.returned_at
-            ):
-                return (
-                    f"client {client!r} invoked op #{op.seqno} at "
-                    f"{op.invoked_at} before op #{previous.seqno} returned at "
-                    f"{previous.returned_at}"
-                )
+            if previous is not None:
+                if closed_loop:
+                    if (
+                        previous.returned_at is not None
+                        and op.invoked_at < previous.returned_at
+                    ):
+                        return (
+                            f"client {client!r} invoked op #{op.seqno} at "
+                            f"{op.invoked_at} before op #{previous.seqno} returned "
+                            f"at {previous.returned_at}"
+                        )
+                elif op.invoked_at < previous.invoked_at:
+                    return (
+                        f"client {client!r} invoked op #{op.seqno} at "
+                        f"{op.invoked_at}, before op #{previous.seqno} invoked at "
+                        f"{previous.invoked_at} (submission order broken)"
+                    )
             previous = op
     return None
+
+
+def spec_is_closed_loop(spec: ExperimentSpec) -> bool:
+    """Whether *spec*'s clients await each commit before the next invocation.
+
+    Saturating workloads keep a window of outstanding commands per site, and
+    a ``pipeline_depth`` above one lets even think-time clients race several
+    submissions — both are open-loop in the sense the cross-shard
+    client-order pass cares about.
+    """
+    if spec.workload.scenario == "saturating":
+        return False
+    if spec.batching is not None and spec.batching.pipeline_depth > 1:
+        return False
+    return True
 
 
 @dataclass
@@ -90,6 +127,9 @@ class ShardedCheckReport:
 
     shard_reports: list[CheckReport]
     client_order: Optional[str] = None
+    #: Which client-order condition was applied: sequential (closed-loop) or
+    #: submission-order (open-loop; saturating / pipelined clients).
+    closed_loop: bool = True
 
     @property
     def linearizable(self) -> bool:
@@ -111,13 +151,15 @@ class ShardedCheckReport:
         return sum(report.ops for report in self.shard_reports)
 
     def describe(self) -> str:
+        mode = "sequential" if self.closed_loop else "open-loop"
         if self.linearizable:
             per_shard = ", ".join(
                 f"s{index}:{report.ops}" for index, report in enumerate(self.shard_reports)
             )
             return (
                 f"linearizable on every shard ({len(self.shard_reports)} shards, "
-                f"{self.ops} ops: {per_shard}; cross-shard client order ok)"
+                f"{self.ops} ops: {per_shard}; cross-shard client order ok, "
+                f"{mode})"
             )
         return f"NOT linearizable: {self.violation}"
 
@@ -127,6 +169,7 @@ class ShardedCheckReport:
             "method": "per-shard",
             "shards": [report.to_dict() for report in self.shard_reports],
             "client_order_ok": self.client_order is None,
+            "client_order_mode": "sequential" if self.closed_loop else "open-loop",
         }
         if self.violation is not None:
             data["violation"] = self.violation
@@ -151,9 +194,11 @@ def check_sharded_spec(
         assert shard_result.history is not None  # record_history guarantees it
         histories.append(shard_result.history)
         shard_reports.append(check_history(shard_result.history))
+    closed_loop = spec_is_closed_loop(spec)
     report = ShardedCheckReport(
         shard_reports=shard_reports,
-        client_order=client_order_violation(histories),
+        client_order=client_order_violation(histories, closed_loop=closed_loop),
+        closed_loop=closed_loop,
     )
     return CheckedRun(result=result, report=report)
 
@@ -162,5 +207,6 @@ __all__ = [
     "ShardedCheckReport",
     "check_sharded_spec",
     "client_order_violation",
+    "spec_is_closed_loop",
     "split_history",
 ]

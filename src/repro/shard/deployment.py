@@ -114,18 +114,27 @@ def aggregate_results(
 
     # Per-replica metrics: replica ids coincide across shard groups (replica
     # r of every group lives at site r), so "executed" sums over the site's
-    # shard processes and "utilization" averages over them.
+    # shard processes, "utilization" averages over them, and the latency-split
+    # means merge weighted by each shard's sample count.
     replica_metrics: dict[ReplicaId, dict[str, float]] = {}
+    split_means = ("queue_wait_mean_us", "protocol_mean_us")
     for result in shard_results:
         for rid, metrics in result.replica_metrics.items():
             merged = replica_metrics.setdefault(rid, {})
+            weight = metrics.get("split_samples", 0.0)
             for key, value in metrics.items():
+                if key in split_means:
+                    value *= weight  # de-averaged; re-divided below
                 merged[key] = merged.get(key, 0.0) + value
     for metrics in replica_metrics.values():
         if "utilization" in metrics:
             metrics["utilization"] = round(
                 metrics["utilization"] / len(shard_results), 3
             )
+        samples = metrics.get("split_samples", 0.0)
+        for key in split_means:
+            if key in metrics:
+                metrics[key] = round(metrics[key] / samples, 1) if samples else 0.0
 
     total = sum(result.total_committed for result in shard_results)
     sharding = spec.sharding or ShardingSpec()
@@ -191,9 +200,15 @@ class ShardedDeployment:
 
     def run(self) -> ExperimentResult:
         """Deploy every shard group, run them together, aggregate the results."""
+        from ..launch.backend import ProcessBackend  # lazy: avoids a cycle
+
         if isinstance(self.backend, SimBackend):
             shard_results = self._run_sim()
-        elif isinstance(self.backend, AsyncBackend):
+        elif isinstance(self.backend, (AsyncBackend, ProcessBackend)):
+            # Both expose ``run_in_loop``; gathering them runs every shard
+            # group concurrently — as coroutine sets sharing one loop on the
+            # async backend, as independent process groups on proc (each
+            # shard group gets its own supervisor and worker processes).
             shard_results = self._run_async()
         else:
             raise ConfigurationError(

@@ -117,7 +117,7 @@ class TestSimBackend:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown backend"):
             Deployment(SMALL, backend="kubernetes")
-        assert set(BACKENDS) == {"sim", "async"}
+        assert set(BACKENDS) == {"sim", "async", "proc"}
 
     def test_comparison_covers_all_protocols(self):
         quick = ExperimentSpec(

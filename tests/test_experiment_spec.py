@@ -12,6 +12,7 @@ from repro.experiment import (
     CpuSpec,
     ExperimentSpec,
     FaultSpec,
+    ProcessesSpec,
     WorkloadSpec,
 )
 from repro.protocols.registry import (
@@ -144,6 +145,67 @@ class TestRoundTrip:
         path.write_text("name = ")
         with pytest.raises(ConfigurationError, match="invalid TOML"):
             ExperimentSpec.from_file(path)
+
+
+class TestProcessesTable:
+    def base(self, **overrides) -> ExperimentSpec:
+        return ExperimentSpec(
+            name="proc-spec",
+            protocol="clock-rsm",
+            sites=("CA", "VA", "IR"),
+            duration_s=1.0,
+            **overrides,
+        )
+
+    def test_round_trips_through_dict_and_toml(self, tmp_path):
+        spec = self.base(
+            processes=ProcessesSpec(startup_timeout_s=8.0, shutdown_grace_s=2.0)
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        path = tmp_path / "proc.toml"
+        path.write_text(
+            """
+            name = "proc-spec"
+            protocol = "clock-rsm"
+            sites = ["CA", "VA", "IR"]
+            duration_s = 1.0
+
+            [processes]
+            startup_timeout_s = 8.0
+            shutdown_grace_s = 2.0
+            """
+        )
+        assert ExperimentSpec.from_file(path) == spec
+
+    def test_omitted_table_stays_none_and_out_of_to_dict(self):
+        spec = self.base()
+        assert spec.processes is None
+        assert "processes" not in spec.to_dict()
+
+    def test_defaults(self):
+        table = ProcessesSpec()
+        assert table.host == "127.0.0.1"
+        assert table.startup_timeout_s == 20.0
+        assert table.shutdown_grace_s == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="host"):
+            ProcessesSpec(host="")
+        with pytest.raises(ConfigurationError, match="startup_timeout_s"):
+            ProcessesSpec(startup_timeout_s=0)
+        with pytest.raises(ConfigurationError, match="shutdown_grace_s"):
+            ProcessesSpec(shutdown_grace_s=-1)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys in processes"):
+            ExperimentSpec.from_dict(
+                {
+                    "name": "x",
+                    "protocol": "clock-rsm",
+                    "sites": ["CA", "VA", "IR"],
+                    "processes": {"workers": 4},
+                }
+            )
 
 
 class TestValidation:

@@ -229,6 +229,66 @@ class TestShardedChecking:
         history.invoke(CommandId("c", 2), 0, b"p", 100)
         assert client_order_violation([history]) is None
 
+    def test_open_loop_clients_only_need_submission_order(self):
+        # One open-loop client keeps two ops outstanding: op 2 is invoked
+        # before op 1 returns.  The sequential (closed-loop) condition flags
+        # that; the open-loop condition accepts it because seqnos were
+        # assigned in submission order.
+        history = OpHistory()
+        history.invoke(CommandId("c", 1), 0, b"p", 10)
+        history.complete(CommandId("c", 1), None, 100)
+        other = OpHistory()
+        other.invoke(CommandId("c", 2), 0, b"p", 50)
+        other.complete(CommandId("c", 2), None, 120)
+        assert client_order_violation([history, other], closed_loop=True) is not None
+        assert client_order_violation([history, other], closed_loop=False) is None
+
+    def test_open_loop_check_still_catches_submission_reorder(self):
+        history = OpHistory()
+        history.invoke(CommandId("c", 2), 0, b"p", 10)  # seqno 2 submitted first
+        history.invoke(CommandId("c", 1), 0, b"p", 50)
+        violation = client_order_violation([history], closed_loop=False)
+        assert violation is not None and "submission order" in violation
+
+    def test_spec_is_closed_loop_detection(self):
+        from repro.experiment import BatchingSpec
+        from repro.shard.check import spec_is_closed_loop
+
+        base = sharded()
+        assert spec_is_closed_loop(base)
+        saturating = replace(
+            base, workload=WorkloadSpec(scenario="saturating", outstanding_per_site=4)
+        )
+        assert not spec_is_closed_loop(saturating)
+        pipelined = replace(base, batching=BatchingSpec(max_batch=8, pipeline_depth=2))
+        assert not spec_is_closed_loop(pipelined)
+        batched_only = replace(base, batching=BatchingSpec(max_batch=8))
+        assert spec_is_closed_loop(batched_only)
+
+    def test_batched_saturating_sharded_checks_clean(self):
+        """Regression for the PR-4 gap: a sharded saturating+batched spec
+        false-flagged on the cross-shard client-order pass because the window
+        of outstanding commands violates the closed-loop assumption."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "examples"
+            / "specs"
+            / "batched_saturating.toml"
+        )
+        spec = replace(
+            ExperimentSpec.from_file(path),
+            sharding=ShardingSpec(shards=2),
+            duration_s=0.3,
+            warmup_s=0.05,
+        )
+        run = check_spec(spec, backend="sim")
+        assert isinstance(run.report, ShardedCheckReport)
+        assert not run.report.closed_loop
+        assert run.linearizable, run.report.violation
+        assert run.to_dict()["check"]["client_order_mode"] == "open-loop"
+
     def test_report_surfaces_shard_violations(self):
         from repro.checker.linearizability import CheckReport
 
@@ -355,4 +415,4 @@ class TestShardedCli:
         output = capsys.readouterr().out
         assert "protocols: clock-rsm, mencius, mencius-bcast, paxos, paxos-bcast" in output
         assert "workload scenarios: balanced, imbalanced, saturating" in output
-        assert "backends: async, sim" in output
+        assert "backends: async, proc, sim" in output

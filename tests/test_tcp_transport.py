@@ -1,0 +1,224 @@
+"""TCP transport robustness under the races the process launcher creates.
+
+A multi-process deployment starts every replica concurrently, so the
+transport must tolerate exactly the situations a single-process demo never
+hits: connecting to a peer that has not started listening yet, a peer dying
+mid-frame, two tasks racing to open the first connection to the same peer,
+and protocol traffic arriving before the replica's handler is wired up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.core.messages import Prepare
+from repro.errors import TransportError
+from repro.net.message import Envelope, global_registry
+from repro.net.tcp import TcpTransport, encode_frame
+from repro.types import Command, CommandId, Timestamp
+
+
+def _prepare(seqno: int) -> Prepare:
+    return Prepare(
+        Command(CommandId("tcp-test", seqno), b"p%d" % seqno), Timestamp(seqno + 1, 0)
+    )
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self):
+        async def scenario():
+            transport = TcpTransport(0, "127.0.0.1:0", {})
+            await transport.start()
+            first = transport.bound_address
+            await transport.start()  # must not rebind
+            assert transport.bound_address == first
+            await transport.stop()
+
+        run(scenario())
+
+    def test_bound_address_resolves_ephemeral_port(self):
+        async def scenario():
+            transport = TcpTransport(0, "127.0.0.1:0", {})
+            with pytest.raises(TransportError):
+                transport.bound_address
+            await transport.start()
+            host, port = transport.bound_address.rsplit(":", 1)
+            assert host == "127.0.0.1" and int(port) > 0
+            await transport.stop()
+
+        run(scenario())
+
+    def test_set_peers_installs_addresses_after_construction(self):
+        async def scenario():
+            receiver = TcpTransport(1, "127.0.0.1:0", {})
+            received = asyncio.get_running_loop().create_future()
+            receiver.set_handler(lambda env: received.set_result(env.message))
+            await receiver.start()
+            sender = TcpTransport(0, "127.0.0.1:0", {})  # no peers yet
+            await sender.start()
+            sender.set_peers({1: receiver.bound_address})
+            sender.send(Envelope(0, 1, _prepare(7)))
+            message = await asyncio.wait_for(received, timeout=5)
+            assert message.command.command_id.seqno == 7
+            await sender.stop()
+            await receiver.stop()
+
+        run(scenario())
+
+
+class TestConnectBeforeListen:
+    def test_send_retries_until_peer_listens(self):
+        async def scenario():
+            port = _free_port()
+            addresses = {1: f"127.0.0.1:{port}"}
+            sender = TcpTransport(
+                0, "127.0.0.1:0", addresses, connect_retries=30, connect_backoff_s=0.02
+            )
+            await sender.start()
+            sender.send(Envelope(0, 1, _prepare(0)))  # nobody is listening yet
+
+            await asyncio.sleep(0.2)
+            receiver = TcpTransport(1, f"127.0.0.1:{port}", {})
+            received = asyncio.get_running_loop().create_future()
+            receiver.set_handler(lambda env: received.set_result(env.message))
+            await receiver.start()
+
+            message = await asyncio.wait_for(received, timeout=5)
+            assert message.command.command_id.seqno == 0
+            await sender.stop()
+            await receiver.stop()
+
+        run(scenario())
+
+    def test_without_retries_send_still_fails_softly(self):
+        async def scenario():
+            port = _free_port()
+            sender = TcpTransport(0, "127.0.0.1:0", {1: f"127.0.0.1:{port}"})
+            await sender.start()
+            sender.send(Envelope(0, 1, _prepare(0)))  # dropped with a warning
+            await asyncio.sleep(0.1)  # the send task must not blow up the loop
+            await sender.stop()
+
+        run(scenario())
+
+
+class TestPeerKilledMidFrame:
+    def test_partial_frame_discarded_and_reconnect_resumes(self):
+        async def scenario():
+            receiver = TcpTransport(1, "127.0.0.1:0", {})
+            received: list = []
+            done = asyncio.Event()
+            receiver.set_handler(
+                lambda env: (received.append(env.message), done.set())
+            )
+            await receiver.start()
+            host, port = receiver.bound_address.rsplit(":", 1)
+
+            # A peer connects, announces a 100-byte frame, ships only part of
+            # it, and dies (abort: RST, no graceful shutdown).
+            _, writer = await asyncio.open_connection(host, int(port))
+            writer.write(struct.pack(">I", 100) + b"half a frame")
+            await writer.drain()
+            writer.transport.abort()
+            await asyncio.sleep(0.1)
+
+            # A fresh connection delivers a complete frame; the dead peer's
+            # partial bytes must not have corrupted the receiver's state.
+            _, writer = await asyncio.open_connection(host, int(port))
+            writer.write(encode_frame(Envelope(0, 1, _prepare(3)), global_registry))
+            await writer.drain()
+            await asyncio.wait_for(done.wait(), timeout=5)
+            writer.close()
+
+            assert [m.command.command_id.seqno for m in received] == [3]
+            await receiver.stop()
+
+        run(scenario())
+
+
+class TestDuplicateConnectionRace:
+    def test_concurrent_first_sends_share_one_connection(self):
+        async def scenario():
+            receiver = TcpTransport(1, "127.0.0.1:0", {})
+            received: list = []
+            done = asyncio.Event()
+            receiver.set_handler(
+                lambda env: (
+                    received.append(env.message),
+                    done.set() if len(received) == 8 else None,
+                )
+            )
+            connections = 0
+            inner = receiver._handle_connection
+
+            async def counting(reader, writer):
+                nonlocal connections
+                connections += 1
+                await inner(reader, writer)
+
+            receiver._handle_connection = counting
+            await receiver.start()
+
+            sender = TcpTransport(0, "127.0.0.1:0", {1: receiver.bound_address})
+            await sender.start()
+            # Unbatched sends each spawn their own writer task; all eight race
+            # to create the first connection to replica 1.
+            for index in range(8):
+                sender.send(Envelope(0, 1, _prepare(index)))
+            await asyncio.wait_for(done.wait(), timeout=5)
+
+            assert connections == 1
+            assert sorted(m.command.command_id.seqno for m in received) == list(range(8))
+            await sender.stop()
+            await receiver.stop()
+
+        run(scenario())
+
+
+class TestEarlyTraffic:
+    def test_envelopes_before_handler_are_buffered_then_flushed_in_order(self):
+        async def scenario():
+            receiver = TcpTransport(1, "127.0.0.1:0", {})
+            await receiver.start()  # note: no handler registered yet
+            host, port = receiver.bound_address.rsplit(":", 1)
+
+            _, writer = await asyncio.open_connection(host, int(port))
+            for index in range(3):
+                writer.write(
+                    encode_frame(Envelope(0, 1, _prepare(index)), global_registry)
+                )
+            await writer.drain()
+            await asyncio.sleep(0.1)
+
+            received: list = []
+            receiver.set_handler(lambda env: received.append(env.message))
+            assert [m.command.command_id.seqno for m in received] == [0, 1, 2]
+
+            # Traffic after the handler is set flows directly.
+            done = asyncio.Event()
+            receiver.set_handler(
+                lambda env: (received.append(env.message), done.set())
+            )
+            writer.write(encode_frame(Envelope(0, 1, _prepare(9)), global_registry))
+            await writer.drain()
+            await asyncio.wait_for(done.wait(), timeout=5)
+            assert received[-1].command.command_id.seqno == 9
+
+            writer.close()
+            await receiver.stop()
+
+        run(scenario())
