@@ -33,6 +33,7 @@ from .spec import (
     ExperimentSpec,
     FaultSpec,
     ProcessesSpec,
+    RuntimeSpec,
     ShardingSpec,
     ShardOverride,
     WorkloadSpec,
@@ -55,6 +56,7 @@ __all__ = [
     "ExperimentSpec",
     "FaultSpec",
     "ProcessesSpec",
+    "RuntimeSpec",
     "ShardingSpec",
     "ShardOverride",
     "SiteResult",

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 from ..checker.history import OpHistory
 from ..clocks.base import Clock, TimeSource
@@ -43,12 +44,34 @@ from ..workload.apps import payload_factory, state_machine_factory
 from .result import ExperimentResult, SiteResult
 from .spec import ExperimentSpec, FaultSpec
 
+_LOGGER = logging.getLogger(__name__)
+
 #: Fault kinds this backend knows how to inject.  Kinds outside this set are
 #: a configuration error, so new FAULT_KINDS entries can never be silently
 #: ignored on the live runtime.
 ASYNC_FAULT_KINDS: frozenset[str] = frozenset(
     {"crash", "recover", "partition", "isolate", "clock-jump"}
 )
+
+
+def resolve_loop_factory(use_uvloop: bool) -> Optional[Callable[[], asyncio.AbstractEventLoop]]:
+    """The event-loop factory to run under, or ``None`` for the stdlib loop.
+
+    ``uvloop`` is an optional dependency; requesting it when the package is
+    not importable degrades to the stdlib loop with a warning rather than
+    failing the run.  Which loop actually ran is recorded in the result's
+    ``metadata["event_loop"]``.
+    """
+    if not use_uvloop:
+        return None
+    try:
+        import uvloop
+    except ImportError:
+        _LOGGER.warning(
+            "uvloop requested but not installed; running on the stdlib event loop"
+        )
+        return None
+    return uvloop.new_event_loop
 
 
 class _WallTimeSource(TimeSource):
@@ -78,15 +101,39 @@ class AsyncBackend:
             wall-clock runtime manageable; recorded latencies are scaled back
             so results stay in simulated-time units.
         submit_timeout: Per-command commit timeout in (unscaled) seconds.
+        uvloop: Force the uvloop event loop on (``True``) or off (``False``);
+            ``None`` defers to the spec's ``[runtime] uvloop`` setting.
+            Requesting uvloop when it is not installed falls back to the
+            stdlib loop (see :func:`resolve_loop_factory`).
     """
 
     name = "async"
 
-    def __init__(self, time_scale: float = 1.0, submit_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        time_scale: float = 1.0,
+        submit_timeout: float = 30.0,
+        uvloop: Optional[bool] = None,
+    ) -> None:
         if time_scale <= 0:
             raise ConfigurationError("time_scale must be positive")
         self.time_scale = time_scale
         self.submit_timeout = submit_timeout
+        self.uvloop = uvloop
+
+    def loop_factory(
+        self, spec: ExperimentSpec
+    ) -> Optional[Callable[[], asyncio.AbstractEventLoop]]:
+        """The event-loop factory this spec should run under (``None`` = stdlib).
+
+        The constructor's ``uvloop`` override (e.g. the CLI's ``--uvloop``
+        flag) wins over the spec's ``[runtime]`` table.
+        """
+        if self.uvloop is not None:
+            use_uvloop = self.uvloop
+        else:
+            use_uvloop = spec.runtime.uvloop if spec.runtime is not None else False
+        return resolve_loop_factory(use_uvloop)
 
     # ------------------------------------------------------------------
     # Cluster construction
@@ -221,7 +268,11 @@ class AsyncBackend:
     # ------------------------------------------------------------------
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
-        return asyncio.run(self.run_in_loop(spec))
+        factory = self.loop_factory(spec)
+        if factory is None:
+            return asyncio.run(self.run_in_loop(spec))
+        with asyncio.Runner(loop_factory=factory) as runner:
+            return runner.run(self.run_in_loop(spec))
 
     async def run_in_loop(self, spec: ExperimentSpec) -> ExperimentResult:
         """Run one spec inside the current event loop.
@@ -244,11 +295,14 @@ class AsyncBackend:
         uid = itertools.count(1)
         app_payloads = payload_factory(workload.app, workload.payload_size)
         history = OpHistory() if spec.record_history else None
+        # Null-app payloads are a constant; one shared bytes object instead
+        # of a fresh allocation per command.
+        null_payload = bytes(workload.payload_size)
 
         def make_payload(rng: random.Random) -> bytes:
             if app_payloads is not None:
                 return app_payloads(rng)
-            return bytes(workload.payload_size)
+            return null_payload
 
         stop = asyncio.Event()
         pipeline_depth = (
@@ -259,10 +313,10 @@ class AsyncBackend:
             server: ReplicaServer, rid: ReplicaId, name: str, rng: random.Random
         ) -> None:
             command = Command(CommandId(name, next(uid)), make_payload(rng))
-            collector.record_submit(command.command_id, rid, virtual_micros())
+            submitted_at = virtual_micros()
             if history is not None:
                 history.invoke(
-                    command.command_id, rid, command.payload, virtual_micros()
+                    command.command_id, rid, command.payload, submitted_at
                 )
             try:
                 output = await server.submit(command, timeout=self.submit_timeout)
@@ -275,9 +329,11 @@ class AsyncBackend:
                 history.complete(command.command_id, output, committed_at)
             # Commands draining after the measurement window ended would
             # never have committed on the sim backend (it hard-stops at
-            # total_runtime_micros); keep the two backends comparable.
+            # total_runtime_micros); keep the two backends comparable.  The
+            # submit timestamp is in hand across the await, so the span is
+            # recorded directly — no per-command collector dict entry.
             if committed_at <= spec.total_runtime_micros:
-                collector.record_commit(command.command_id, committed_at)
+                collector.record_span(rid, submitted_at, committed_at)
 
         async def closed_loop_client(
             server: ReplicaServer, rid: ReplicaId, site: str, index: int, think: bool
@@ -409,9 +465,13 @@ class AsyncBackend:
                 # The spec's synthetic jitter is not injected here: the live
                 # event loop contributes its own natural scheduling jitter.
                 "jitter_applied": False,
+                # Which loop implementation actually ran — "uvloop" when the
+                # opt-in took effect, "asyncio" otherwise (including the
+                # requested-but-not-installed fallback).
+                "event_loop": type(loop).__module__.partition(".")[0],
             },
             history=history,
         )
 
 
-__all__ = ["ASYNC_FAULT_KINDS", "AsyncBackend"]
+__all__ = ["ASYNC_FAULT_KINDS", "AsyncBackend", "resolve_loop_factory"]

@@ -287,6 +287,29 @@ class BatchingSpec:
 
 
 @dataclass(frozen=True, slots=True)
+class RuntimeSpec:
+    """The ``[runtime]`` table: event-loop tuning for the live backends.
+
+    * ``uvloop`` — run the asyncio backend under the `uvloop
+      <https://github.com/MagicStack/uvloop>`_ event-loop implementation
+      when the package is installed.  Opt-in and degradation-safe: when
+      uvloop is not importable the run proceeds on the stdlib loop and the
+      result's metadata records which loop actually ran
+      (``metadata["event_loop"]``).  Inert on the sim backend (no event
+      loop) and on the proc backend's supervisor (workers are separate
+      interpreters).
+    """
+
+    uvloop: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.uvloop, bool):
+            raise ConfigurationError(
+                f"runtime.uvloop must be a boolean, got {self.uvloop!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class CpuSpec:
     """Optional CPU/batching cost model (throughput experiments)."""
 
@@ -369,6 +392,9 @@ class ExperimentSpec:
     #: (:mod:`repro.launch`); ``None`` means its defaults.  Inert on the
     #: sim and async backends.
     processes: Optional[ProcessesSpec] = None
+    #: Event-loop tuning for the asyncio backend (``[runtime]``); ``None``
+    #: means the stdlib loop.  Inert on the sim backend.
+    runtime: Optional[RuntimeSpec] = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -595,6 +621,8 @@ class ExperimentSpec:
             data["batching"] = asdict(self.batching)
         if self.processes is not None:
             data["processes"] = asdict(self.processes)
+        if self.runtime is not None:
+            data["runtime"] = asdict(self.runtime)
         # TOML has no null: drop None-valued optional keys everywhere (and
         # the clock-jump-only offset_ms when it is at its 0.0 default).
         data["workload"] = {
@@ -619,7 +647,7 @@ class ExperimentSpec:
             "jitter_fraction", "clocks", "workload", "faults", "cpu",
             "duration_s", "warmup_s", "seed", "clocktime_interval_ms",
             "wait_for_clock", "cdf_sites", "record_history", "sharding",
-            "batching", "processes",
+            "batching", "processes", "runtime",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -632,7 +660,7 @@ class ExperimentSpec:
             for key in known
             - {
                 "sites", "clocks", "workload", "faults", "cpu", "cdf_sites",
-                "sharding", "batching", "processes",
+                "sharding", "batching", "processes", "runtime",
             }
             if key in data
         }
@@ -663,6 +691,8 @@ class ExperimentSpec:
             kwargs["batching"] = _build(BatchingSpec, data["batching"], "batching")
         if "processes" in data:
             kwargs["processes"] = _build(ProcessesSpec, data["processes"], "processes")
+        if "runtime" in data:
+            kwargs["runtime"] = _build(RuntimeSpec, data["runtime"], "runtime")
         try:
             return cls(**kwargs)
         except TypeError as exc:
@@ -752,6 +782,7 @@ __all__ = [
     "BatchingSpec",
     "CpuSpec",
     "ProcessesSpec",
+    "RuntimeSpec",
     "ShardOverride",
     "ShardingSpec",
     "ExperimentSpec",

@@ -93,20 +93,22 @@ async def _run_workload(
     uid = itertools.count(1)
     app_payloads = payload_factory(workload.app, workload.payload_size)
     history = OpHistory() if spec.record_history else None
+    # Null-app payloads are a constant; share one bytes object per worker.
+    null_payload = bytes(workload.payload_size)
 
     def make_payload(rng: random.Random) -> bytes:
         if app_payloads is not None:
             return app_payloads(rng)
-        return bytes(workload.payload_size)
+        return null_payload
 
     stop = asyncio.Event()
     pipeline_depth = spec.batching.pipeline_depth if spec.batching is not None else 1
 
     async def run_command(name: str, rng: random.Random) -> None:
         command = Command(CommandId(name, next(uid)), make_payload(rng))
-        collector.record_submit(command.command_id, rid, virtual_micros())
+        submitted_at = virtual_micros()
         if history is not None:
-            history.invoke(command.command_id, rid, command.payload, virtual_micros())
+            history.invoke(command.command_id, rid, command.payload, submitted_at)
         try:
             output = await server.submit(command, timeout=submit_timeout)
         except RequestTimeout:
@@ -117,7 +119,7 @@ async def _run_workload(
         if history is not None:
             history.complete(command.command_id, output, committed_at)
         if committed_at <= spec.total_runtime_micros:
-            collector.record_commit(command.command_id, committed_at)
+            collector.record_span(rid, submitted_at, committed_at)
 
     async def client(index: int, think: bool) -> None:
         rng = random.Random(spec.seed * 1_000_003 + rid * 1_009 + index)

@@ -37,6 +37,17 @@ class LatencyCollector:
             return
         self._latencies[replica_id].append(time - submit_time)
 
+    def record_span(self, replica_id: ReplicaId, submit_time: Micros, commit_time: Micros) -> None:
+        """Record a completed command when the caller tracked both endpoints.
+
+        Hot-path variant of ``record_submit`` + ``record_commit`` for
+        workloads that already hold the submit timestamp across the await —
+        no per-command dict entry, no two ``CommandId`` hash lookups.
+        """
+        if submit_time < self.warmup_until:
+            return
+        self._latencies[replica_id].append(commit_time - submit_time)
+
     # -- results ----------------------------------------------------------------
 
     @property

@@ -26,6 +26,14 @@ class MessageRegistry:
     def __init__(self) -> None:
         self._by_name: dict[str, type] = {}
         self._by_type: dict[type, str] = {}
+        # One codec pair per registry: the hooks resolve names dynamically,
+        # so registration after construction is still picked up, and reusing
+        # the encoder keeps its internal bytearray warm across frames.  The
+        # encoder's buffer makes ``encode``/``encode_many`` single-threaded
+        # (like the event loop that calls them); the ``*_into`` variants and
+        # the decoder only touch caller-owned state and are reentrant.
+        self._encoder = WireEncoder(object_hook=self._encode_hook)
+        self._decoder = WireDecoder(object_hook=self._decode_hook)
 
     def register(self, cls: Type[T], name: Optional[str] = None) -> Type[T]:
         """Register *cls* under *name* (defaults to the class name)."""
@@ -64,19 +72,32 @@ class MessageRegistry:
 
     def encode(self, value: Any) -> bytes:
         """Encode a value that may contain registered message instances."""
-        return WireEncoder(object_hook=self._encode_hook).encode(value)
+        return self._encoder.encode(value)
 
-    def decode(self, data: bytes) -> Any:
-        """Decode wire bytes produced by :meth:`encode`."""
-        return WireDecoder(object_hook=self._decode_hook).decode(data)
+    def decode(self, data: Any) -> Any:
+        """Decode wire bytes produced by :meth:`encode` (any bytes-like)."""
+        return self._decoder.decode(data)
 
     def encode_many(self, values: Any) -> bytes:
         """Encode an iterable of values as one concatenated stream."""
-        return WireEncoder(object_hook=self._encode_hook).encode_many(values)
+        return self._encoder.encode_many(values)
 
-    def decode_many(self, data: bytes) -> list[Any]:
+    def decode_many(self, data: Any) -> list[Any]:
         """Decode a concatenated stream produced by :meth:`encode_many`."""
-        return WireDecoder(object_hook=self._decode_hook).decode_many(data)
+        return self._decoder.decode_many(data)
+
+    def encode_into(self, buf: bytearray, value: Any) -> int:
+        """Append the encoding of *value* to *buf*; returns bytes written.
+
+        Frame-fusion path for transports: lets a caller reserve its length
+        prefix in *buf* and encode the body directly after it, with no
+        intermediate ``bytes`` object.
+        """
+        return self._encoder.encode_into(buf, value)
+
+    def encode_many_into(self, buf: bytearray, values: Any) -> int:
+        """Append a concatenated value stream to *buf*; returns bytes written."""
+        return self._encoder.encode_many_into(buf, values)
 
 
 def _convert_fields(cls: type, fields: dict[str, Any]) -> dict[str, Any]:

@@ -24,7 +24,7 @@ import asyncio
 import logging
 import struct
 from collections import deque
-from typing import Optional
+from typing import Any, Optional
 
 from ..config import BatchingOptions
 from ..errors import TransportError
@@ -40,28 +40,39 @@ _LENGTH = struct.Struct(">I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
-def _frame(body: bytes) -> bytes:
-    if len(body) > MAX_FRAME_BYTES:
-        raise TransportError(f"frame too large: {len(body)} bytes")
-    return _LENGTH.pack(len(body)) + body
+def _seal_frame(buf: bytearray) -> bytes:
+    """Patch the reserved length prefix at the head of *buf* and freeze it.
+
+    Frame fusion: the encoder appended the body straight after the 4
+    reserved prefix bytes, so header and body leave as one buffer in one
+    ``write()`` — no join of per-value parts, no prefix+body concatenation.
+    """
+    body_len = len(buf) - _LENGTH.size
+    if body_len > MAX_FRAME_BYTES:
+        raise TransportError(f"frame too large: {body_len} bytes")
+    _LENGTH.pack_into(buf, 0, body_len)
+    return bytes(buf)
 
 
 def encode_frame(envelope: Envelope, registry: MessageRegistry) -> bytes:
     """Serialize an envelope into a length-prefixed single-message frame."""
-    body = registry.encode(
-        {"src": envelope.src, "dst": envelope.dst, "message": envelope.message}
+    buf = bytearray(_LENGTH.size)
+    registry.encode_into(
+        buf, {"src": envelope.src, "dst": envelope.dst, "message": envelope.message}
     )
-    return _frame(body)
+    return _seal_frame(buf)
 
 
 def encode_batch_frame(batch: EnvelopeBatch, registry: MessageRegistry) -> bytes:
     """Serialize a multi-message envelope into one length-prefixed frame."""
+    buf = bytearray(_LENGTH.size)
     header = {"src": batch.src, "dst": batch.dst, "batch": len(batch.messages)}
-    body = registry.encode_many([header, *batch.messages])
-    return _frame(body)
+    registry.encode_into(buf, header)
+    registry.encode_many_into(buf, batch.messages)
+    return _seal_frame(buf)
 
 
-def decode_frame_body(body: bytes, registry: MessageRegistry) -> Envelope:
+def decode_frame_body(body: Any, registry: MessageRegistry) -> Envelope:
     """Deserialize a single-message frame body into an envelope."""
     decoded = registry.decode(body)
     if not isinstance(decoded, dict) or not {"src", "dst", "message"} <= decoded.keys():
@@ -71,8 +82,13 @@ def decode_frame_body(body: bytes, registry: MessageRegistry) -> Envelope:
     )
 
 
-def decode_frame_envelopes(body: bytes, registry: MessageRegistry) -> list[Envelope]:
-    """Deserialize a frame body of either form into its envelopes, in order."""
+def decode_frame_envelopes(body: Any, registry: MessageRegistry) -> list[Envelope]:
+    """Deserialize a frame body of either form into its envelopes, in order.
+
+    Accepts any bytes-like *body*; the registry decoder walks it as a
+    ``memoryview``, so envelope batches are decoded straight from the
+    received buffer with only the string/bytes leaves materialized.
+    """
     values = registry.decode_many(body)
     if not values:
         raise TransportError("empty frame body")

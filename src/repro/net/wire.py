@@ -22,6 +22,28 @@ Wire grammar (all integers big-endian)::
     LIST    := 'L' u32 count, value*
     MAP     := 'M' u32 count, (value value)*
     OBJ     := 'O' STR(type-name) MAP(field-name -> value)
+
+Implementation notes (the wire hot path):
+
+* Both directions are **iterative** (an explicit work stack), so nesting
+  depth is a checked limit (:data:`MAX_DEPTH`) raising
+  :class:`~repro.errors.CodecError` — never a Python ``RecursionError`` a
+  malicious peer could trigger remotely.
+* The encoder appends into one reusable ``bytearray`` using preallocated
+  :class:`struct.Struct` ``pack_into`` calls for the fixed-width tags — no
+  per-value ``bytes`` temporaries joined at the end.  ``encode_into`` /
+  ``encode_many_into`` expose the same path to callers (the TCP transport)
+  that want to fuse their own framing header into the same buffer.
+* The decoder walks a ``memoryview`` of the input and only materializes the
+  STR/BYTES leaves; fixed-width fields are ``unpack_from`` reads and BIGINT
+  uses a zero-copy subview.  Declared lengths are validated against the
+  remaining buffer *before* any allocation, so a corrupted length field
+  fails fast instead of attempting a giant allocation.
+* Every malformed-input failure mode — truncation, unknown tags, lengths
+  beyond the buffer or beyond u32, unhashable MAP keys, invalid UTF-8, and
+  object hooks choking on bad fields — surfaces as ``CodecError``, the
+  documented contract that lets transport readers treat any decode failure
+  as a protocol error instead of dying on a stray ``TypeError``.
 """
 
 from __future__ import annotations
@@ -34,10 +56,38 @@ from ..errors import CodecError
 
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
+_U32_MAX = 2**32 - 1
+
+#: Maximum container nesting the codec will encode or decode.  Deeper
+#: payloads raise :class:`~repro.errors.CodecError`; protocol messages are a
+#: handful of levels deep, so the limit only ever triggers on hostile or
+#: corrupted input (each OBJ costs two levels: the OBJ and its field MAP).
+MAX_DEPTH = 64
 
 _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
+
+# Fused tag+payload packers for the fixed-width wire forms: one pack_into
+# writes both the tag byte and the big-endian payload, no temporaries.
+_TAG_I64 = struct.Struct(">Bq")   # 'I' int64
+_TAG_F64 = struct.Struct(">Bd")   # 'D' float64
+_TAG_U32 = struct.Struct(">BI")   # any tag followed by a u32 length/count
+
+_PAD9 = bytes(_TAG_I64.size)
+_PAD5 = bytes(_TAG_U32.size)
+
+_TAG_N = 0x4E  # 'N'
+_TAG_T = 0x54  # 'T'
+_TAG_F = 0x46  # 'F'
+_TAG_I = 0x49  # 'I'
+_TAG_J = 0x4A  # 'J'
+_TAG_D = 0x44  # 'D'
+_TAG_S = 0x53  # 'S'
+_TAG_B = 0x42  # 'B'
+_TAG_L = 0x4C  # 'L'
+_TAG_M = 0x4D  # 'M'
+_TAG_O = 0x4F  # 'O'
 
 
 class WireEncoder:
@@ -48,19 +98,25 @@ class WireEncoder:
             must return a ``(type_name, field_dict)`` pair or raise
             :class:`~repro.errors.CodecError`.  The message registry supplies
             this hook for registered dataclasses.
+        max_depth: Container nesting limit (:data:`MAX_DEPTH` by default);
+            deeper values raise :class:`~repro.errors.CodecError`.
     """
 
     def __init__(
-        self, object_hook: Optional[Callable[[Any], tuple[str, dict[str, Any]]]] = None
+        self,
+        object_hook: Optional[Callable[[Any], tuple[str, dict[str, Any]]]] = None,
+        max_depth: int = MAX_DEPTH,
     ) -> None:
         self._object_hook = object_hook
-        self._parts: list[bytes] = []
+        self._max_depth = max_depth
+        self._buf = bytearray()
 
     def encode(self, value: Any) -> bytes:
         """Encode *value* and return the wire bytes."""
-        self._parts = []
-        self._write(value)
-        return b"".join(self._parts)
+        buf = self._buf
+        del buf[:]  # reuse the allocation across frames
+        self._write(buf, value)
+        return bytes(buf)
 
     def encode_many(self, values: Any) -> bytes:
         """Encode an iterable of values as a concatenated stream.
@@ -71,57 +127,136 @@ class WireEncoder:
         framed this way — one length prefix for the frame, zero per-message
         framing overhead beyond the values themselves.
         """
-        self._parts = []
+        buf = self._buf
+        del buf[:]
+        write = self._write
         for value in values:
-            self._write(value)
-        return b"".join(self._parts)
+            write(buf, value)
+        return bytes(buf)
 
-    # -- writers -----------------------------------------------------------
+    def encode_into(self, buf: bytearray, value: Any) -> int:
+        """Append the encoding of *value* to *buf*; returns bytes written.
 
-    def _write(self, value: Any) -> None:
-        if value is None:
-            self._parts.append(b"N")
-        elif value is True:
-            self._parts.append(b"T")
-        elif value is False:
-            self._parts.append(b"F")
-        elif isinstance(value, int):
-            self._write_int(value)
-        elif isinstance(value, float):
-            self._parts.append(b"D" + _F64.pack(value))
-        elif isinstance(value, str):
-            raw = value.encode("utf-8")
-            self._parts.append(b"S" + _U32.pack(len(raw)) + raw)
-        elif isinstance(value, (bytes, bytearray, memoryview)):
-            raw = bytes(value)
-            self._parts.append(b"B" + _U32.pack(len(raw)) + raw)
-        elif isinstance(value, (list, tuple)):
-            self._parts.append(b"L" + _U32.pack(len(value)))
-            for item in value:
-                self._write(item)
-        elif isinstance(value, dict):
-            self._parts.append(b"M" + _U32.pack(len(value)))
-            for key, item in value.items():
-                self._write(key)
-                self._write(item)
-        else:
-            self._write_object(value)
+        This is the frame-fusion entry point: a transport can reserve its
+        length-prefix bytes in *buf*, encode the body straight after them,
+        and patch the prefix — header and body leave as one buffer, with no
+        intermediate ``bytes`` copy.
+        """
+        start = len(buf)
+        self._write(buf, value)
+        return len(buf) - start
 
-    def _write_int(self, value: int) -> None:
-        if _INT64_MIN <= value <= _INT64_MAX:
-            self._parts.append(b"I" + _I64.pack(value))
-        else:
-            length = (value.bit_length() + 8) // 8
-            raw = value.to_bytes(length, "big", signed=True)
-            self._parts.append(b"J" + _U32.pack(len(raw)) + raw)
+    def encode_many_into(self, buf: bytearray, values: Any) -> int:
+        """Append a concatenated value stream to *buf*; returns bytes written."""
+        start = len(buf)
+        write = self._write
+        for value in values:
+            write(buf, value)
+        return len(buf) - start
 
-    def _write_object(self, value: Any) -> None:
-        if self._object_hook is None:
-            raise CodecError(f"cannot encode value of type {type(value).__name__}")
-        type_name, fields = self._object_hook(value)
-        self._parts.append(b"O")
-        self._write(type_name)
-        self._write(fields)
+    # -- writer ------------------------------------------------------------
+
+    def _write(self, buf: bytearray, value: Any) -> None:
+        # Iterative depth-first encode: the stack holds (value, depth)
+        # pairs still to be emitted; container children are pushed in
+        # reverse so they pop in document order.
+        max_depth = self._max_depth
+        stack: list[tuple[Any, int]] = [(value, 0)]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            value, depth = pop()
+            if value is None:
+                buf.append(_TAG_N)
+            elif value is True:
+                buf.append(_TAG_T)
+            elif value is False:
+                buf.append(_TAG_F)
+            elif isinstance(value, int):
+                if _INT64_MIN <= value <= _INT64_MAX:
+                    pos = len(buf)
+                    buf += _PAD9
+                    _TAG_I64.pack_into(buf, pos, _TAG_I, value)
+                else:
+                    raw = value.to_bytes(
+                        (value.bit_length() + 8) // 8, "big", signed=True
+                    )
+                    if len(raw) > _U32_MAX:
+                        raise CodecError(
+                            f"BIGINT of {len(raw)} bytes exceeds the u32 length field"
+                        )
+                    pos = len(buf)
+                    buf += _PAD5
+                    _TAG_U32.pack_into(buf, pos, _TAG_J, len(raw))
+                    buf += raw
+            elif isinstance(value, float):
+                pos = len(buf)
+                buf += _PAD9
+                _TAG_F64.pack_into(buf, pos, _TAG_D, value)
+            elif isinstance(value, str):
+                raw = value.encode("utf-8")
+                if len(raw) > _U32_MAX:
+                    raise CodecError(
+                        f"string of {len(raw)} utf-8 bytes exceeds the u32 length field"
+                    )
+                pos = len(buf)
+                buf += _PAD5
+                _TAG_U32.pack_into(buf, pos, _TAG_S, len(raw))
+                buf += raw
+            elif isinstance(value, (bytes, bytearray, memoryview)):
+                if len(value) > _U32_MAX:
+                    raise CodecError(
+                        f"bytes of length {len(value)} exceed the u32 length field"
+                    )
+                pos = len(buf)
+                buf += _PAD5
+                _TAG_U32.pack_into(buf, pos, _TAG_B, len(value))
+                buf += value
+            elif isinstance(value, (list, tuple)):
+                if len(value) > _U32_MAX:
+                    raise CodecError(
+                        f"list of {len(value)} items exceeds the u32 count field"
+                    )
+                if depth >= max_depth:
+                    raise CodecError(f"value nests deeper than max_depth={max_depth}")
+                pos = len(buf)
+                buf += _PAD5
+                _TAG_U32.pack_into(buf, pos, _TAG_L, len(value))
+                child_depth = depth + 1
+                for item in reversed(value):
+                    push((item, child_depth))
+            elif isinstance(value, dict):
+                if len(value) > _U32_MAX:
+                    raise CodecError(
+                        f"map of {len(value)} entries exceeds the u32 count field"
+                    )
+                if depth >= max_depth:
+                    raise CodecError(f"value nests deeper than max_depth={max_depth}")
+                pos = len(buf)
+                buf += _PAD5
+                _TAG_U32.pack_into(buf, pos, _TAG_M, len(value))
+                child_depth = depth + 1
+                for key, item in reversed(list(value.items())):
+                    push((item, child_depth))
+                    push((key, child_depth))
+            else:
+                if self._object_hook is None:
+                    raise CodecError(
+                        f"cannot encode value of type {type(value).__name__}"
+                    )
+                type_name, fields = self._object_hook(value)
+                if depth >= max_depth:
+                    raise CodecError(f"value nests deeper than max_depth={max_depth}")
+                buf.append(_TAG_O)
+                child_depth = depth + 1
+                push((fields, child_depth))
+                push((type_name, child_depth))
+
+
+# Decoder frame kinds (the explicit stack replacing recursion).
+_F_LIST = 0
+_F_MAP = 1
+_F_OBJ = 2
 
 
 class WireDecoder:
@@ -130,86 +265,234 @@ class WireDecoder:
     Args:
         object_hook: Callback invoked for OBJ values; it receives the type
             name and field dict and must return the reconstructed object.
+        max_depth: Container nesting limit (:data:`MAX_DEPTH` by default);
+            deeper input raises :class:`~repro.errors.CodecError`.
     """
 
     def __init__(
-        self, object_hook: Optional[Callable[[str, dict[str, Any]], Any]] = None
+        self,
+        object_hook: Optional[Callable[[str, dict[str, Any]], Any]] = None,
+        max_depth: int = MAX_DEPTH,
     ) -> None:
         self._object_hook = object_hook
-        self._data = b""
-        self._pos = 0
+        self._max_depth = max_depth
 
-    def decode(self, data: bytes) -> Any:
-        """Decode a single value from *data*; trailing bytes are an error."""
-        self._data = data
-        self._pos = 0
-        value = self._read()
-        if self._pos != len(self._data):
-            raise CodecError(
-                f"trailing garbage after value: {len(self._data) - self._pos} bytes"
-            )
-        return value
+    def decode(self, data: Any) -> Any:
+        """Decode a single value from *data*; trailing bytes are an error.
 
-    def decode_many(self, data: bytes) -> list[Any]:
+        Accepts any bytes-like object (``bytes``, ``bytearray``,
+        ``memoryview``) and never copies the buffer wholesale: only STR and
+        BYTES leaves are materialized.
+        """
+        view = memoryview(data)
+        try:
+            end = len(view)
+            value, pos = self._read(view, 0, end)
+            if pos != end:
+                raise CodecError(f"trailing garbage after value: {end - pos} bytes")
+            return value
+        finally:
+            view.release()
+
+    def decode_many(self, data: Any) -> list[Any]:
         """Decode a concatenated stream of values (see ``encode_many``).
 
         Values are self-delimiting, so the decoder reads until the buffer is
         exhausted; a truncated final value raises
         :class:`~repro.errors.CodecError` like any other short read.
         """
-        self._data = data
-        self._pos = 0
-        values: list[Any] = []
-        while self._pos < len(self._data):
-            values.append(self._read())
-        return values
+        view = memoryview(data)
+        try:
+            end = len(view)
+            values: list[Any] = []
+            pos = 0
+            read = self._read
+            while pos < end:
+                value, pos = read(view, pos, end)
+                values.append(value)
+            return values
+        finally:
+            view.release()
 
-    # -- readers -----------------------------------------------------------
+    # -- reader ------------------------------------------------------------
 
-    def _take(self, count: int) -> bytes:
-        if self._pos + count > len(self._data):
-            raise CodecError("truncated wire data")
-        chunk = self._data[self._pos : self._pos + count]
-        self._pos += count
-        return chunk
+    def _read(self, view: memoryview, pos: int, end: int) -> tuple[Any, int]:
+        """Read one value starting at *pos*; returns ``(value, new_pos)``.
 
-    def _read_u32(self) -> int:
-        return _U32.unpack(self._take(4))[0]
+        Iterative: container frames live on an explicit stack.  A LIST frame
+        is ``[kind, items, remaining]``; a MAP frame is ``[kind, dict,
+        remaining, key, have_key]`` (entries are inserted as their pair
+        completes, so an unhashable key fails right where it decodes); an
+        OBJ frame is ``[kind, children]`` collecting the type name and field
+        map before invoking the object hook.
+        """
+        max_depth = self._max_depth
+        stack: list[list[Any]] = []
+        while True:
+            # ---- read exactly one leaf, or open a container frame -------
+            if pos >= end:
+                raise CodecError("truncated wire data")
+            tag = view[pos]
+            pos += 1
+            have_value = True
+            value: Any = None
+            if tag == _TAG_I:
+                if pos + 8 > end:
+                    raise CodecError("truncated wire data")
+                value = _I64.unpack_from(view, pos)[0]
+                pos += 8
+            elif tag == _TAG_S:
+                if pos + 4 > end:
+                    raise CodecError("truncated wire data")
+                n = _U32.unpack_from(view, pos)[0]
+                pos += 4
+                if n > end - pos:
+                    raise CodecError(
+                        f"declared length {n} exceeds the {end - pos} bytes remaining"
+                    )
+                try:
+                    value = str(view[pos : pos + n], "utf-8")
+                except UnicodeDecodeError as exc:
+                    raise CodecError(f"invalid utf-8 in string: {exc}") from exc
+                pos += n
+            elif tag == _TAG_B:
+                if pos + 4 > end:
+                    raise CodecError("truncated wire data")
+                n = _U32.unpack_from(view, pos)[0]
+                pos += 4
+                if n > end - pos:
+                    raise CodecError(
+                        f"declared length {n} exceeds the {end - pos} bytes remaining"
+                    )
+                value = bytes(view[pos : pos + n])
+                pos += n
+            elif tag == _TAG_N:
+                value = None
+            elif tag == _TAG_T:
+                value = True
+            elif tag == _TAG_F:
+                value = False
+            elif tag == _TAG_D:
+                if pos + 8 > end:
+                    raise CodecError("truncated wire data")
+                value = _F64.unpack_from(view, pos)[0]
+                pos += 8
+            elif tag == _TAG_J:
+                if pos + 4 > end:
+                    raise CodecError("truncated wire data")
+                n = _U32.unpack_from(view, pos)[0]
+                pos += 4
+                if n > end - pos:
+                    raise CodecError(
+                        f"declared length {n} exceeds the {end - pos} bytes remaining"
+                    )
+                value = int.from_bytes(view[pos : pos + n], "big", signed=True)
+                pos += n
+            elif tag == _TAG_L:
+                if pos + 4 > end:
+                    raise CodecError("truncated wire data")
+                count = _U32.unpack_from(view, pos)[0]
+                pos += 4
+                # Each element costs at least its one tag byte: a count the
+                # remaining buffer cannot possibly satisfy fails here, fast,
+                # instead of looping (or preallocating) towards a huge list.
+                if count > end - pos:
+                    raise CodecError(
+                        f"declared count {count} exceeds the {end - pos} bytes remaining"
+                    )
+                if count == 0:
+                    value = []
+                else:
+                    if len(stack) >= max_depth:
+                        raise CodecError(
+                            f"input nests deeper than max_depth={max_depth}"
+                        )
+                    stack.append([_F_LIST, [], count])
+                    have_value = False
+            elif tag == _TAG_M:
+                if pos + 4 > end:
+                    raise CodecError("truncated wire data")
+                count = _U32.unpack_from(view, pos)[0]
+                pos += 4
+                if count > (end - pos) // 2:
+                    raise CodecError(
+                        f"declared count {count} exceeds the {end - pos} bytes remaining"
+                    )
+                if count == 0:
+                    value = {}
+                else:
+                    if len(stack) >= max_depth:
+                        raise CodecError(
+                            f"input nests deeper than max_depth={max_depth}"
+                        )
+                    stack.append([_F_MAP, {}, count, None, False])
+                    have_value = False
+            elif tag == _TAG_O:
+                if len(stack) >= max_depth:
+                    raise CodecError(f"input nests deeper than max_depth={max_depth}")
+                stack.append([_F_OBJ, []])
+                have_value = False
+            else:
+                raise CodecError(f"unknown wire tag {bytes((tag,))!r}")
 
-    def _read(self) -> Any:
-        tag = self._take(1)
-        if tag == b"N":
-            return None
-        if tag == b"T":
-            return True
-        if tag == b"F":
-            return False
-        if tag == b"I":
-            return _I64.unpack(self._take(8))[0]
-        if tag == b"J":
-            raw = self._take(self._read_u32())
-            return int.from_bytes(raw, "big", signed=True)
-        if tag == b"D":
-            return _F64.unpack(self._take(8))[0]
-        if tag == b"S":
-            return self._take(self._read_u32()).decode("utf-8")
-        if tag == b"B":
-            return self._take(self._read_u32())
-        if tag == b"L":
-            count = self._read_u32()
-            return [self._read() for _ in range(count)]
-        if tag == b"M":
-            count = self._read_u32()
-            return {self._read(): self._read() for _ in range(count)}
-        if tag == b"O":
-            type_name = self._read()
-            fields = self._read()
-            if not isinstance(type_name, str) or not isinstance(fields, dict):
-                raise CodecError("malformed object encoding")
-            if self._object_hook is None:
-                raise CodecError(f"no object hook to decode type {type_name!r}")
-            return self._object_hook(type_name, fields)
-        raise CodecError(f"unknown wire tag {tag!r}")
+            if not have_value:
+                continue  # a container frame was opened; read its first child
+
+            # ---- feed the completed value into the enclosing frames -----
+            while True:
+                if not stack:
+                    return value, pos
+                frame = stack[-1]
+                kind = frame[0]
+                if kind == _F_LIST:
+                    items = frame[1]
+                    items.append(value)
+                    frame[2] -= 1
+                    if frame[2]:
+                        break  # more elements to read
+                    stack.pop()
+                    value = items
+                elif kind == _F_MAP:
+                    if not frame[4]:
+                        frame[3] = value
+                        frame[4] = True
+                        break  # the key's value is next
+                    try:
+                        frame[1][frame[3]] = value
+                    except TypeError as exc:
+                        raise CodecError(
+                            f"unhashable map key of type {type(frame[3]).__name__}"
+                        ) from exc
+                    frame[3] = None
+                    frame[4] = False
+                    frame[2] -= 1
+                    if frame[2]:
+                        break  # more pairs to read
+                    stack.pop()
+                    value = frame[1]
+                else:  # _F_OBJ
+                    children = frame[1]
+                    children.append(value)
+                    if len(children) < 2:
+                        break  # the field map is next
+                    stack.pop()
+                    type_name, fields = children
+                    if not isinstance(type_name, str) or not isinstance(fields, dict):
+                        raise CodecError("malformed object encoding")
+                    if self._object_hook is None:
+                        raise CodecError(
+                            f"no object hook to decode type {type_name!r}"
+                        )
+                    try:
+                        value = self._object_hook(type_name, fields)
+                    except CodecError:
+                        raise
+                    except Exception as exc:
+                        # A registered hook choking on adversarial field
+                        # values is still a malformed frame, not a crash.
+                        raise CodecError(
+                            f"object hook failed for type {type_name!r}: {exc}"
+                        ) from exc
 
 
 def encode(value: Any) -> bytes:
@@ -217,7 +500,7 @@ def encode(value: Any) -> bytes:
     return WireEncoder().encode(value)
 
 
-def decode(data: bytes) -> Any:
+def decode(data: Any) -> Any:
     """Decode a value containing only primitive types."""
     return WireDecoder().decode(data)
 
@@ -227,7 +510,7 @@ def encode_many(values: Any) -> bytes:
     return WireEncoder().encode_many(values)
 
 
-def decode_many(data: bytes) -> list[Any]:
+def decode_many(data: Any) -> list[Any]:
     """Decode a stream of concatenated primitive-typed values."""
     return WireDecoder().decode_many(data)
 
@@ -240,6 +523,7 @@ def dataclass_fields(value: Any) -> dict[str, Any]:
 
 
 __all__ = [
+    "MAX_DEPTH",
     "WireEncoder",
     "WireDecoder",
     "encode",

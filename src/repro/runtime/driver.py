@@ -44,6 +44,22 @@ _LOGGER = logging.getLogger(__name__)
 ReplyCallback = Callable[[CommandId, Any], None]
 
 
+class _Flight:
+    """Per-command timing record for the queue-wait vs protocol-time split.
+
+    One slotted object per in-flight command replaces the former pair of
+    per-command dict entries (``_submitted_at`` / ``_proposed_at``): half the
+    hashing and dict churn on the submit → propose → reply hot path, and the
+    proposal timestamp is a plain attribute store on a record already in hand.
+    """
+
+    __slots__ = ("submitted", "proposed")
+
+    def __init__(self, submitted: float) -> None:
+        self.submitted = submitted
+        self.proposed = -1.0
+
+
 class AsyncReplicaDriver:
     """Runs one protocol replica on an asyncio event loop."""
 
@@ -65,11 +81,10 @@ class AsyncReplicaDriver:
         )
         self._timer_handles: list[asyncio.TimerHandle] = []
         self._started = False
-        # Queue-wait vs protocol-time split: wall timestamps of each command's
-        # submission (joins the accumulator) and proposal (reaches the
-        # replica), settled when its ClientReply comes back.
-        self._submitted_at: dict[CommandId, float] = {}
-        self._proposed_at: dict[CommandId, float] = {}
+        # Queue-wait vs protocol-time split: one _Flight record per command,
+        # stamped at submission (joins the accumulator) and proposal (reaches
+        # the replica), settled when its ClientReply comes back.
+        self._in_flight: dict[CommandId, _Flight] = {}
         self._split_queue_total = 0.0
         self._split_protocol_total = 0.0
         self._split_samples = 0
@@ -92,8 +107,7 @@ class AsyncReplicaDriver:
         for handle in self._timer_handles:
             handle.cancel()
         self._timer_handles.clear()
-        self._submitted_at.clear()
-        self._proposed_at.clear()
+        self._in_flight.clear()
         self.transport.close()
 
     # -- latency split -------------------------------------------------------
@@ -127,14 +141,15 @@ class AsyncReplicaDriver:
             return
         now = time.monotonic()
         # Commands whose reply never arrives (crash, timeout) would pin their
-        # timestamps forever; shed the oldest half past a generous bound.
-        if len(self._submitted_at) > 65536:
-            for key in list(itertools.islice(iter(self._submitted_at), 32768)):
-                self._submitted_at.pop(key, None)
-                self._proposed_at.pop(key, None)
-        self._submitted_at[command.command_id] = now
+        # records forever; shed the oldest half past a generous bound.
+        in_flight = self._in_flight
+        if len(in_flight) > 65536:
+            for key in list(itertools.islice(iter(in_flight), 32768)):
+                del in_flight[key]
+        flight = _Flight(now)
+        in_flight[command.command_id] = flight
         if self._accumulator is None:
-            self._proposed_at[command.command_id] = now  # no queue: wait is 0
+            flight.proposed = now  # no queue: wait is 0
             self._perform(self.replica.on_client_request(command))
         else:
             self._accumulator.add(command)
@@ -144,9 +159,11 @@ class AsyncReplicaDriver:
         if self.replica.stopped:
             return
         now = time.monotonic()
+        in_flight = self._in_flight
         for command in commands:
-            if command.command_id in self._submitted_at:
-                self._proposed_at[command.command_id] = now
+            flight = in_flight.get(command.command_id)
+            if flight is not None:
+                flight.proposed = now
         self._perform(self.replica.on_client_request(make_unit(commands)))
 
     def _on_envelope(self, envelope: Envelope) -> None:
@@ -174,41 +191,44 @@ class AsyncReplicaDriver:
         # to the end of the batch.
         local = self.replica.replica_id
         deferred: list[Envelope] = []
+        send = self.transport.send
+        on_reply = self.on_reply
+        # Checked in descending frequency: a batch of n commands commits with
+        # n ClientReply actions but only a handful of sends and timers.
         for action in actions:
-            if isinstance(action, Send):
+            if isinstance(action, ClientReply):
+                self._settle_split(action.command_id)
+                if on_reply is not None:
+                    on_reply(action.command_id, action.output)
+            elif isinstance(action, Send):
                 envelope = Envelope(local, action.dst, action.message)
                 if action.dst == local:
                     deferred.append(envelope)
                 else:
-                    self.transport.send(envelope)
+                    send(envelope)
             elif isinstance(action, Broadcast):
                 include_self = False
                 for dst in self.replica.broadcast_targets(action.include_self):
                     if dst == local:
                         include_self = True
                         continue
-                    self.transport.send(Envelope(local, dst, action.message))
+                    send(Envelope(local, dst, action.message))
                 if include_self:
                     deferred.append(Envelope(local, local, action.message))
-            elif isinstance(action, ClientReply):
-                self._settle_split(action.command_id)
-                if self.on_reply is not None:
-                    self.on_reply(action.command_id, action.output)
             elif isinstance(action, SetTimer):
                 self._set_timer(action)
             else:  # pragma: no cover - defensive
                 _LOGGER.warning("unknown action %r", action)
         for envelope in deferred:
-            self.transport.send(envelope)
+            send(envelope)
 
     def _settle_split(self, command_id: CommandId) -> None:
-        submitted = self._submitted_at.pop(command_id, None)
-        proposed = self._proposed_at.pop(command_id, None)
-        if submitted is None or proposed is None:
+        flight = self._in_flight.pop(command_id, None)
+        if flight is None or flight.proposed < 0.0:
             return  # a retransmitted / recovered reply we never timed
         now = time.monotonic()
-        self._split_queue_total += proposed - submitted
-        self._split_protocol_total += now - proposed
+        self._split_queue_total += flight.proposed - flight.submitted
+        self._split_protocol_total += now - flight.proposed
         self._split_samples += 1
 
     def _set_timer(self, action: SetTimer) -> None:

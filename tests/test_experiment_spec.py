@@ -13,6 +13,7 @@ from repro.experiment import (
     ExperimentSpec,
     FaultSpec,
     ProcessesSpec,
+    RuntimeSpec,
     WorkloadSpec,
 )
 from repro.protocols.registry import (
@@ -204,6 +205,56 @@ class TestProcessesTable:
                     "protocol": "clock-rsm",
                     "sites": ["CA", "VA", "IR"],
                     "processes": {"workers": 4},
+                }
+            )
+
+
+class TestRuntimeTable:
+    def base(self, **overrides) -> ExperimentSpec:
+        return ExperimentSpec(
+            name="runtime-spec",
+            protocol="clock-rsm",
+            sites=("CA", "VA", "IR"),
+            duration_s=1.0,
+            **overrides,
+        )
+
+    def test_round_trips_through_dict_and_toml(self, tmp_path):
+        spec = self.base(runtime=RuntimeSpec(uvloop=True))
+        assert spec.to_dict()["runtime"] == {"uvloop": True}
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        path = tmp_path / "runtime.toml"
+        path.write_text(
+            """
+            name = "runtime-spec"
+            protocol = "clock-rsm"
+            sites = ["CA", "VA", "IR"]
+            duration_s = 1.0
+
+            [runtime]
+            uvloop = true
+            """
+        )
+        assert ExperimentSpec.from_file(path) == spec
+
+    def test_omitted_table_stays_none_and_out_of_to_dict(self):
+        spec = self.base()
+        assert spec.runtime is None
+        assert "runtime" not in spec.to_dict()
+
+    def test_defaults_and_validation(self):
+        assert RuntimeSpec().uvloop is False
+        with pytest.raises(ConfigurationError, match="uvloop"):
+            RuntimeSpec(uvloop="yes")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys in runtime"):
+            ExperimentSpec.from_dict(
+                {
+                    "name": "x",
+                    "protocol": "clock-rsm",
+                    "sites": ["CA", "VA", "IR"],
+                    "runtime": {"uvlop": True},
                 }
             )
 

@@ -90,9 +90,9 @@ class TestDriverSplit:
                 assert split is not None and split["samples"] == 8
                 assert split["queue_wait_s"] >= 0.0
                 assert split["protocol_s"] > 0.0
-                # Settled commands release their timestamps.
+                # Settled commands release their in-flight records.
                 driver = cluster.servers[0].driver
-                assert not driver._submitted_at and not driver._proposed_at
+                assert not driver._in_flight
             return True
 
         assert run(scenario())
